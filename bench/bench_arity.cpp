@@ -1,0 +1,44 @@
+// E12 — node fan-out (arity) ablation of the synchronous parallel heap.
+//
+// Claim: larger fan-out shortens the tree (levels ~ log_d(n/r)) which cuts
+// the repair path length, but each repair merges up to (d+1)·r items, so the
+// per-op merge volume grows; the sweet spot is small (d = 2..4), mirroring
+// the d-ary-heap trade-off. (The paper's structure is binary; this ablates
+// that design choice.)
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/parallel_heap.hpp"
+#include "util/timer.hpp"
+#include "workloads/hold_model.hpp"
+
+int main() {
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E12 arity ablation (hold model, r=512, n=2^18)",
+         "claim: fan-out shortens the tree but widens repairs; binary/quad "
+         "near-optimal");
+  columns("arity,levels,Mops,items_moved_per_op,nodes_touched_per_cycle");
+
+  HoldConfig cfg;
+  cfg.n = 1 << 18;
+  cfg.ops = 1 << 20;
+
+  for (std::size_t d : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    ParallelHeap<std::uint64_t> q(512, std::less<std::uint64_t>{}, d);
+    q.build(hold_initial(cfg));
+    q.reset_stats();
+    Timer t;
+    const HoldResult res = batch_hold(q, cfg, 512);
+    const double secs = t.seconds();
+    const auto& st = q.stats();
+    row("%zu,%zu,%.2f,%.1f,%.1f", d, q.levels(),
+        static_cast<double>(res.ops) / secs / 1e6,
+        static_cast<double>(st.items_merged) / static_cast<double>(res.ops),
+        static_cast<double>(st.nodes_touched) / static_cast<double>(st.cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harness.
+//
+// Every experiment binary prints (a) a header naming the experiment and the
+// lineage figure/table it reconstructs, (b) CSV-style rows, and (c) the
+// hardware-independent counters that carry the scalability shape on hosts
+// where wall-clock speedup cannot manifest (see DESIGN.md). Keep output
+// grep-friendly: one "row," prefix per data point.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ph::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n--- %s\n", experiment, claim);
+}
+
+inline void columns(const char* fmt, ...) {
+  std::printf("cols,");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void row(const char* fmt, ...) {
+  std::printf("row,");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void note(const char* fmt, ...) {
+  std::printf("note,");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace ph::bench

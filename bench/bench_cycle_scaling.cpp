@@ -1,0 +1,83 @@
+// E1 — cycle cost vs heap size (google-benchmark).
+//
+// Claim (ICPP'90 / J.Supercomputing'92 complexity): one insert-delete cycle
+// of r items costs O(r log n) total work and O(r) critical-path work; at
+// fixed r, per-cycle time should grow logarithmically in n, not linearly.
+// Counters report items merged per cycle, whose growth rate is the
+// hardware-independent check of the same claim.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel_heap.hpp"
+#include "core/pipelined_heap.hpp"
+#include "util/rng.hpp"
+#include "workloads/distributions.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+
+constexpr std::size_t kR = 512;
+
+std::vector<std::uint64_t> content(std::size_t n) {
+  ph::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(1ull << 40);
+  return v;
+}
+
+void BM_SyncHeapCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ph::ParallelHeap<std::uint64_t> heap(kR);
+  heap.build(content(n));
+  ph::Xoshiro256 rng(11);
+  std::vector<std::uint64_t> fresh(kR), out;
+  std::uint64_t floor = 0;
+  heap.reset_stats();
+  for (auto _ : state) {
+    for (auto& x : fresh) x = floor + ph::to_fixed(ph::draw_increment(rng, ph::Dist::kExponential));
+    out.clear();
+    heap.cycle(fresh, kR, out);
+    floor = out.back();
+    benchmark::DoNotOptimize(out.data());
+  }
+  const auto& st = heap.stats();
+  state.counters["items_merged_per_cycle"] =
+      benchmark::Counter(static_cast<double>(st.items_merged) /
+                         static_cast<double>(st.cycles));
+  state.counters["nodes_touched_per_cycle"] =
+      benchmark::Counter(static_cast<double>(st.nodes_touched) /
+                         static_cast<double>(st.cycles));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kR));
+}
+BENCHMARK(BM_SyncHeapCycle)->RangeMultiplier(4)->Range(1 << 12, 1 << 22);
+
+void BM_PipelinedHeapStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ph::PipelinedParallelHeap<std::uint64_t> heap(kR);
+  heap.build(content(n));
+  ph::Xoshiro256 rng(11);
+  std::vector<std::uint64_t> fresh(kR), out;
+  std::uint64_t floor = 0;
+  heap.reset_stats();
+  for (auto _ : state) {
+    for (auto& x : fresh) x = floor + ph::to_fixed(ph::draw_increment(rng, ph::Dist::kExponential));
+    out.clear();
+    heap.step(fresh, kR, out);
+    floor = out.back();
+    benchmark::DoNotOptimize(out.data());
+  }
+  const auto& st = heap.stats();
+  const auto& ps = heap.pipeline_stats();
+  state.counters["items_merged_per_cycle"] =
+      benchmark::Counter(static_cast<double>(st.items_merged) /
+                         static_cast<double>(st.cycles));
+  state.counters["inflight_peak"] = benchmark::Counter(static_cast<double>(ps.max_inflight));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kR));
+}
+BENCHMARK(BM_PipelinedHeapStep)->RangeMultiplier(4)->Range(1 << 12, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E11 — priority-increment distribution sensitivity (classic PQ methodology;
+// the lineage cites Brown'88 and the concurrent-queue studies that show the
+// calendar queue's O(1) behaviour is distribution-dependent).
+//
+// Claim: the calendar queue's advantage collapses on clustered/bimodal
+// distributions (bucket skew and width mis-estimation), while the heaps —
+// including the parallel heap — are distribution-insensitive.
+#include <cstdint>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "bench_common.hpp"
+#include "core/parallel_heap.hpp"
+#include "util/timer.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+
+struct FixedKey {
+  double operator()(std::uint64_t v) const { return ph::from_fixed(v); }
+};
+
+}  // namespace
+
+int main() {
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E11 distribution sensitivity (hold model, n=2^17)",
+         "claim: calendar queue is distribution-sensitive; heaps are not");
+  columns("distribution,binary_ns,calendar_ns,parheap_ns");
+
+  for (Dist d : {Dist::kExponential, Dist::kUniform, Dist::kBimodal,
+                 Dist::kTriangular, Dist::kCamel}) {
+    HoldConfig cfg;
+    cfg.n = 1 << 17;
+    cfg.ops = 1 << 18;
+    cfg.dist = d;
+
+    BinaryHeap<std::uint64_t> bh;
+    for (auto v : hold_initial(cfg)) bh.push(v);
+    Timer tb;
+    scalar_hold(bh, cfg);
+    const double bin = tb.seconds() / static_cast<double>(cfg.ops) * 1e9;
+
+    CalendarQueue<std::uint64_t, FixedKey> cq;
+    for (auto v : hold_initial(cfg)) cq.push(v);
+    Timer tc;
+    scalar_hold(cq, cfg);
+    const double cal = tc.seconds() / static_cast<double>(cfg.ops) * 1e9;
+
+    ParallelHeap<std::uint64_t> php(512);
+    php.build(hold_initial(cfg));
+    Timer tp;
+    const HoldResult pres = batch_hold(php, cfg, 512);
+    const double par = tp.seconds() / static_cast<double>(pres.ops) * 1e9;
+
+    row("%s,%.0f,%.0f,%.0f", dist_name(d), bin, cal, par);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E4 — event-grain sensitivity (lineage: SPDP'95 "fine-to-medium grained").
+//
+// Claim: the heavier the per-item think work, the smaller the heap
+// maintenance share of each cycle and the better the engine amortizes —
+// coarser grain moves the crossover vs the serial binary heap toward the
+// parallel structure. Rows report the engine's phase split (maintenance and
+// root share shrink as grain grows) next to the serial baseline.
+#include <cstdint>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/timer.hpp"
+#include "workloads/grain.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+std::uint64_t g_sink = 0;
+}
+
+int main() {
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E4 event-grain sweep (hold model)",
+         "claim: engine's maintenance share falls as grain grows; crossover "
+         "vs serial heap moves toward the engine");
+  columns("grain,engine_Mops,engine_maint_share,engine_root_share,serial_Mops,ratio");
+
+  HoldConfig cfg;
+  cfg.n = 1 << 16;
+  cfg.ops = 1 << 19;
+
+  for (std::uint64_t grain : {0ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    // Engine (2 think workers; maintenance on the driver, overlapped).
+    EngineConfig ecfg;
+    ecfg.node_capacity = 1024;
+    ecfg.think_threads = 2;
+    ParallelHeapEngine<std::uint64_t> eng(ecfg);
+    eng.seed(hold_initial(cfg));
+    Timer te;
+    const EngineReport rep = eng.run(
+        [&](unsigned, std::span<const std::uint64_t> mine,
+            std::span<const std::uint64_t>, std::vector<std::uint64_t>& out) {
+          std::uint64_t sink = 0;
+          for (std::uint64_t v : mine) {
+            if (grain != 0) sink ^= spin_work(grain, v);
+            out.push_back(v + 1 + (v * 2654435761u) % to_fixed(2.0));
+          }
+          g_sink ^= sink;
+        },
+        cfg.ops);
+    const double esecs = te.seconds();
+    const double eops = static_cast<double>(rep.items_processed) / esecs / 1e6;
+
+    // Serial binary heap.
+    BinaryHeap<std::uint64_t> bh;
+    bh.build(hold_initial(cfg));
+    HoldConfig scfg = cfg;
+    scfg.grain = grain;
+    Timer ts;
+    const HoldResult sres = scalar_hold(bh, scfg);
+    const double ssecs = ts.seconds();
+    const double sops = static_cast<double>(sres.ops) / ssecs / 1e6;
+    g_sink ^= sres.sink;
+
+    row("%llu,%.2f,%.2f,%.2f,%.2f,%.2f", static_cast<unsigned long long>(grain),
+        eops, rep.maint_seconds / esecs, rep.root_seconds / esecs, sops,
+        eops / sops);
+  }
+  note("sink=%llu (anti-DCE)", static_cast<unsigned long long>(g_sink));
+  return 0;
+}

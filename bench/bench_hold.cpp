@@ -1,0 +1,78 @@
+// E6 — classic hold curves: per-op cost vs queue size for each structure
+// (the standard presentation from the priority-queue literature the lineage
+// builds on).
+//
+// Claim shapes: heaps grow ~logarithmically in n; the calendar queue stays
+// ~flat on the exponential distribution; the batch-driven parallel heap's
+// per-item cost stays within a small factor of the binary heap while doing
+// its work in r-item batches.
+#include <cstdint>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "baselines/dary_heap.hpp"
+#include "baselines/pairing_heap.hpp"
+#include "baselines/skew_heap.hpp"
+#include "bench_common.hpp"
+#include "core/parallel_heap.hpp"
+#include "core/pipelined_heap.hpp"
+#include "util/timer.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+
+struct FixedKey {
+  double operator()(std::uint64_t v) const { return ph::from_fixed(v); }
+};
+
+template <typename Q>
+double time_scalar(std::size_t n, std::uint64_t ops) {
+  ph::HoldConfig cfg;
+  cfg.n = n;
+  cfg.ops = ops;
+  Q q;
+  for (auto v : ph::hold_initial(cfg)) q.push(v);
+  ph::Timer t;
+  ph::scalar_hold(q, cfg);
+  return t.seconds() / static_cast<double>(ops) * 1e9;  // ns/op
+}
+
+template <typename Q>
+double time_batch(Q& q, std::size_t n, std::uint64_t ops, std::size_t r) {
+  ph::HoldConfig cfg;
+  cfg.n = n;
+  cfg.ops = ops;
+  q.build(ph::hold_initial(cfg));
+  ph::Timer t;
+  const ph::HoldResult res = ph::batch_hold(q, cfg, r);
+  return t.seconds() / static_cast<double>(res.ops) * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E6 hold curves: ns per hold op vs queue size",
+         "claim: heaps ~log n; calendar ~flat; parallel heap within a small "
+         "factor of binary heap at scale");
+  columns("n,binary,dary4,skew,pairing,calendar,parheap_r512,pipelined_r512");
+
+  for (std::size_t n = 1 << 8; n <= (1u << 21); n <<= 3) {
+    const std::uint64_t ops = 1 << 18;
+    const double bin = time_scalar<BinaryHeap<std::uint64_t>>(n, ops);
+    const double d4 = time_scalar<DaryHeap<std::uint64_t, 4>>(n, ops);
+    const double skew = time_scalar<SkewHeap<std::uint64_t>>(n, ops);
+    const double pair = time_scalar<PairingHeap<std::uint64_t>>(n, ops);
+    const double cal = time_scalar<CalendarQueue<std::uint64_t, FixedKey>>(n, ops);
+    ParallelHeap<std::uint64_t> php(512);
+    const double par = time_batch(php, n, ops, 512);
+    PipelinedParallelHeap<std::uint64_t> pip(512);
+    const double pipe = time_batch(pip, n, ops, 512);
+    row("%zu,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f", n, bin, d4, skew, pair, cal,
+        par, pipe);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E5 — serial hold-op cost across priority-queue structures
+// (google-benchmark). The lineage's serial comparators: array heaps,
+// pointer heaps (skew/pairing/leftist), Brown's calendar queue, and the
+// parallel heap driven one batch at a time on a single thread.
+//
+// Claim: per-op the calendar queue is O(1) on well-behaved distributions,
+// the heaps are O(log n), and the batch-driven parallel heap amortizes its
+// O(r log n) cycle over r items — competitive per item at large n despite
+// doing strictly more data movement.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "baselines/dary_heap.hpp"
+#include "baselines/leftist_heap.hpp"
+#include "baselines/pairing_heap.hpp"
+#include "baselines/skew_heap.hpp"
+#include "core/parallel_heap.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+
+template <typename Q>
+void scalar_hold_bench(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ph::HoldConfig cfg;
+  cfg.n = n;
+  Q q;
+  for (auto v : ph::hold_initial(cfg)) q.push(v);
+  ph::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t t = q.pop();
+    q.push(t + ph::to_fixed(ph::draw_increment(rng, ph::Dist::kExponential)));
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BinaryHeap(benchmark::State& s) { scalar_hold_bench<ph::BinaryHeap<std::uint64_t>>(s); }
+void BM_Dary4Heap(benchmark::State& s) { scalar_hold_bench<ph::DaryHeap<std::uint64_t, 4>>(s); }
+void BM_Dary8Heap(benchmark::State& s) { scalar_hold_bench<ph::DaryHeap<std::uint64_t, 8>>(s); }
+void BM_SkewHeap(benchmark::State& s) { scalar_hold_bench<ph::SkewHeap<std::uint64_t>>(s); }
+void BM_PairingHeap(benchmark::State& s) { scalar_hold_bench<ph::PairingHeap<std::uint64_t>>(s); }
+void BM_LeftistHeap(benchmark::State& s) { scalar_hold_bench<ph::LeftistHeap<std::uint64_t>>(s); }
+
+struct FixedKey {
+  double operator()(std::uint64_t v) const { return ph::from_fixed(v); }
+};
+
+void BM_CalendarQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ph::HoldConfig cfg;
+  cfg.n = n;
+  ph::CalendarQueue<std::uint64_t, FixedKey> q;
+  for (auto v : ph::hold_initial(cfg)) q.push(v);
+  ph::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t t = q.pop();
+    q.push(t + ph::to_fixed(ph::draw_increment(rng, ph::Dist::kExponential)));
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ParallelHeapBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kR = 512;
+  ph::HoldConfig cfg;
+  cfg.n = n;
+  ph::ParallelHeap<std::uint64_t> q(kR);
+  q.build(ph::hold_initial(cfg));
+  ph::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> out, fresh;
+  for (auto _ : state) {
+    out.clear();
+    q.cycle(fresh, kR, out);
+    fresh.clear();
+    for (std::uint64_t t : out) {
+      fresh.push_back(t + ph::to_fixed(ph::draw_increment(rng, ph::Dist::kExponential)));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kR));
+}
+
+constexpr std::int64_t kLo = 1 << 10;
+constexpr std::int64_t kHi = 1 << 20;
+
+BENCHMARK(BM_BinaryHeap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_Dary4Heap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_Dary8Heap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_SkewHeap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_PairingHeap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_LeftistHeap)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_CalendarQueue)->RangeMultiplier(32)->Range(kLo, kHi);
+BENCHMARK(BM_ParallelHeapBatch)->RangeMultiplier(32)->Range(kLo, kHi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

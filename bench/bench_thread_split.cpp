@@ -1,0 +1,68 @@
+// E10 — splitting t threads between think and maintenance work (lineage:
+// their Figure on "total processors used and the number of participating
+// simulation processors", which tunes (t, s) and finds most threads should
+// think while few maintain).
+//
+// Claim: at medium grain the best split gives (almost) all threads to the
+// think phase, because maintenance is O(r log n) total per cycle against
+// O(r·grain) think work; dedicated maintenance threads only pay off when
+// grain is tiny and n is huge. Rows sweep s (think) for fixed t = s + m.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/timer.hpp"
+#include "workloads/grain.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_sink{0};
+}
+
+int main() {
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E10 think/maintenance thread split",
+         "claim: most threads should think; maintenance needs at most a "
+         "small team");
+  columns("total_t,think_s,maint_m,grain,Mops,maint_share,stall_share");
+
+  HoldConfig cfg;
+  cfg.n = 1 << 18;
+  cfg.ops = 1 << 19;
+
+  for (std::uint64_t grain : {64ull, 1024ull}) {
+    for (unsigned total : {2u, 4u, 8u}) {
+      for (unsigned maint = 0; maint < total; maint = maint == 0 ? 1 : maint * 2) {
+        const unsigned think = total - maint;
+        EngineConfig ecfg;
+        ecfg.node_capacity = 1024;
+        ecfg.think_threads = think;
+        ecfg.maintenance_threads = maint;
+        ParallelHeapEngine<std::uint64_t> eng(ecfg);
+        eng.seed(hold_initial(cfg));
+        Timer t;
+        const EngineReport rep = eng.run(
+            [&](unsigned, std::span<const std::uint64_t> mine,
+                std::span<const std::uint64_t>, std::vector<std::uint64_t>& out) {
+              std::uint64_t sink = 0;
+              for (std::uint64_t v : mine) {
+                sink ^= spin_work(grain, v);
+                out.push_back(v + 1 + (v * 2654435761u) % to_fixed(2.0));
+              }
+              g_sink.fetch_add(sink, std::memory_order_relaxed);
+            },
+            cfg.ops);
+        const double secs = t.seconds();
+        row("%u,%u,%u,%llu,%.2f,%.2f,%.2f", total, think, maint,
+            static_cast<unsigned long long>(grain),
+            static_cast<double>(rep.items_processed) / secs / 1e6,
+            rep.maint_seconds / secs, rep.think_stall_seconds / secs);
+      }
+    }
+  }
+  return 0;
+}

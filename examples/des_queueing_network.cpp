@@ -1,0 +1,81 @@
+// Discrete-event simulation of a queueing network — the application the
+// Parallel Heap was built for: a global event queue whose root node IS the
+// next batch of earliest events (and whose first element is the GVT).
+//
+// Simulates a torus network of logical processes three ways and compares:
+//   serial      — classic one-event-at-a-time reference
+//   locked GQ   — global binary heap behind a lock (the lineage's "heap
+//                 version") driven in synchronous windows
+//   parheap GQ  — the parallel-heap engine with think workers
+//
+// All three produce identical results (same processed-event fingerprint);
+// what differs is structure: batch width, deferral counts, lock pressure.
+//
+// Build & run:  ./build/examples/des_queueing_network [rows cols end_time]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/locked_pq.hpp"
+#include "sim/engine_sim.hpp"
+#include "sim/model.hpp"
+#include "sim/network.hpp"
+#include "sim/serial_sim.hpp"
+#include "sim/sync_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ph;
+  using namespace ph::sim;
+
+  const std::size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  const std::size_t cols = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const double end_time = argc > 3 ? std::strtod(argv[3], nullptr) : 60.0;
+
+  // The lineage's setup: per-LP service times in [1, 5], 10% "hot" LPs with
+  // near-zero service to make the event population fine-grained.
+  const Topology topo = make_torus(rows, cols);
+  ModelConfig mc;
+  mc.seed = 7;
+  const Model model(topo, mc);
+
+  std::printf("torus %zux%zu (%zu LPs), horizon t<%.1f, lookahead %.3f\n\n", rows,
+              cols, topo.num_lps, end_time, model.lookahead());
+
+  // 1. Serial reference.
+  const SimResult serial = run_serial_sim(model, end_time);
+  std::printf("%-12s %9llu events  %8.0f ev/s\n", "serial",
+              static_cast<unsigned long long>(serial.processed),
+              static_cast<double>(serial.processed) / serial.seconds);
+
+  // 2. Locked global binary heap, synchronous windows of 256.
+  {
+    LockedPQ<BinaryHeap<Event, EventOrder>, Event> gq;
+    const SimResult r = run_sync_sim(gq, model, end_time, 256);
+    std::printf("%-12s %9llu events  %8.0f ev/s  %llu deferred  %llu lock-acq  %s\n",
+                "locked-heap", static_cast<unsigned long long>(r.processed),
+                static_cast<double>(r.processed) / r.seconds,
+                static_cast<unsigned long long>(r.deferred),
+                static_cast<unsigned long long>(gq.lock_acquisitions()),
+                r.same_outcome(serial) ? "EXACT" : "MISMATCH!");
+  }
+
+  // 3. Parallel-heap engine, 2 think workers, batch = r = 256.
+  {
+    EngineSimConfig cfg;
+    cfg.node_capacity = 256;
+    cfg.think_threads = 2;
+    const EngineSimResult r = run_engine_sim(model, end_time, cfg);
+    std::printf("%-12s %9llu events  %8.0f ev/s  %llu deferred  %llu cycles    %s\n",
+                "parheap", static_cast<unsigned long long>(r.sim.processed),
+                static_cast<double>(r.sim.processed) / r.sim.seconds,
+                static_cast<unsigned long long>(r.sim.deferred),
+                static_cast<unsigned long long>(r.engine.cycles),
+                r.sim.same_outcome(serial) ? "EXACT" : "MISMATCH!");
+  }
+
+  std::printf(
+      "\nThe parallel heap hands the engine the %u earliest events per cycle;\n"
+      "the batch minimum is the GVT — no extra GVT computation is needed.\n",
+      256u);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Classic implicit-array binary min-heap — the serial baseline every
+// parallel-heap comparison in the lineage starts from, and the structure
+// wrapped by LockedPQ to form the "global heap with locks" comparator.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class BinaryHeap {
+ public:
+  explicit BinaryHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void clear() noexcept { data_.clear(); }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    return data_.front();
+  }
+
+  void push(const T& v) {
+    data_.push_back(v);
+    sift_up(data_.size() - 1);
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    T out = std::move(data_.front());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// O(n) bottom-up heap construction (Floyd), replacing the content.
+  void build(std::vector<T> items) {
+    data_ = std::move(items);
+    if (data_.size() < 2) return;
+    for (std::size_t i = data_.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+  bool check_invariants() const {
+    for (std::size_t i = 1; i < data_.size(); ++i) {
+      if (cmp_(data_[i], data_[(i - 1) / 2])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T v = std::move(data_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!cmp_(v, data_[parent])) break;
+      data_[i] = std::move(data_[parent]);
+      i = parent;
+    }
+    data_[i] = std::move(v);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    T v = std::move(data_[i]);
+    for (;;) {
+      std::size_t c = 2 * i + 1;
+      if (c >= n) break;
+      if (c + 1 < n && cmp_(data_[c + 1], data_[c])) ++c;
+      if (!cmp_(data_[c], v)) break;
+      data_[i] = std::move(data_[c]);
+      i = c;
+    }
+    data_[i] = std::move(v);
+  }
+
+  Compare cmp_;
+  std::vector<T> data_;
+};
+
+}  // namespace ph

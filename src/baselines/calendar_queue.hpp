@@ -1,0 +1,247 @@
+// Calendar queue (R. Brown, CACM 1988) — the O(1)-amortized event-set
+// structure the lineage repeatedly cites and, in parallelized form, used
+// before switching to the parallel heap. Priorities are real-valued "dates":
+// a year of `nbuckets` day-buckets of width `width`; an item with priority p
+// goes into bucket floor(p / width) mod nbuckets; dequeue scans from the
+// current day forward, completing at most one year before falling back to a
+// direct minimum search. The bucket count doubles/halves as the queue grows
+// and shrinks, and the width is re-estimated from a sample of inter-event
+// gaps (Brown's heuristic).
+//
+// Requirements: Key(T) -> double must be non-negative. Brown designed the
+// structure as an *event set*: every insertion is at or after the last
+// dequeued priority (true of any causal simulation), and that is the fast
+// path here. Unlike the original, insertions behind the clock are still
+// *exact*: they arm a guard that resolves the next dequeue by direct
+// minimum search (O(buckets)), after which the calendar restarts at the true
+// minimum. Monotone workloads never pay for the guard.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, typename KeyFn>
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(KeyFn key = KeyFn(), std::size_t initial_buckets = 2,
+                         double initial_width = 1.0)
+      : key_(std::move(key)) {
+    init(initial_buckets, initial_width, 0.0);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void push(const T& v) {
+    enqueue(v);
+    if (size_ > 2 * buckets_.size() && buckets_.size() < (1u << 22)) {
+      resize(2 * buckets_.size());
+    }
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    T out = dequeue();
+    if (size_ < buckets_.size() / 2 && buckets_.size() > 2) {
+      resize(buckets_.size() / 2);
+    }
+    return out;
+  }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    // Locate (without removing) the next event; cache-free implementation
+    // simply dequeues and re-enqueues internally would disturb order of
+    // equal keys, so we scan the same way dequeue does.
+    const T* best = scan_min();
+    PH_ASSERT(best != nullptr);
+    return *best;
+  }
+
+  bool check_invariants() const {
+    std::size_t n = 0;
+    for (const auto& b : buckets_) {
+      for (std::size_t i = 1; i < b.size(); ++i) {
+        // Buckets are sorted descending so the minimum pops off the back.
+        if (key_(b[i - 1]) < key_(b[i])) return false;
+      }
+      n += b.size();
+    }
+    return n == size_;
+  }
+
+ private:
+  using Bucket = std::vector<T>;
+
+  void init(std::size_t nbuckets, double width, double startprio) {
+    buckets_.assign(nbuckets, Bucket{});
+    width_ = width;
+    last_prio_ = startprio;
+    last_bucket_ = static_cast<std::size_t>(startprio / width_) % nbuckets;
+    bucket_top_ = (std::floor(startprio / width_) + 1) * width_;
+    size_ = 0;
+  }
+
+  std::size_t bucket_of(double prio) const {
+    return static_cast<std::size_t>(std::floor(prio / width_)) % buckets_.size();
+  }
+
+  void enqueue(const T& v) {
+    const double p = key_(v);
+    PH_ASSERT_MSG(p >= 0.0, "calendar queue requires non-negative priorities");
+    Bucket& b = buckets_[bucket_of(p)];
+    // Insert keeping the bucket sorted descending (min at the back). Equal
+    // keys: new item goes nearer the front of the descending order's equal
+    // run, i.e. pops after existing equals (FIFO within a key).
+    auto it = std::upper_bound(b.begin(), b.end(), p,
+                               [this](double x, const T& e) { return x > key_(e); });
+    b.insert(it, v);
+    ++size_;
+    // Insertion behind the clock (outside Brown's contract): remember it so
+    // the next dequeue resolves by direct search instead of the year scan.
+    if (p < last_prio_) has_past_ = true;
+  }
+
+  T dequeue() {
+    // Exactness guard: if anything was inserted behind the clock, the year
+    // scan's assumptions are void — find the true minimum directly and
+    // restart the calendar there.
+    if (has_past_) {
+      has_past_ = false;
+      return direct_min_dequeue();
+    }
+    // Phase 1: scan from the current day within the current year. An event
+    // qualifies only if it falls inside the scanned day's *current-year*
+    // window [top - width, top); events behind the clock (possible when the
+    // caller inserts into the past, which Brown's monotone event sets never
+    // do) fall through to the phase-2 direct search, which resets the
+    // calendar at the true minimum.
+    std::size_t i = last_bucket_;
+    double top = bucket_top_;
+    for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+      Bucket& b = buckets_[i];
+      if (!b.empty() && key_(b.back()) < top && key_(b.back()) >= top - width_) {
+        T out = std::move(b.back());
+        b.pop_back();
+        --size_;
+        last_bucket_ = i;
+        last_prio_ = key_(out);
+        bucket_top_ = top;
+        return out;
+      }
+      i = (i + 1) % buckets_.size();
+      top += width_;
+    }
+    // Phase 2 (rare): nothing within a year — find the global minimum
+    // directly and restart the calendar there.
+    return direct_min_dequeue();
+  }
+
+  T direct_min_dequeue() {
+    std::size_t best_bucket = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+      const Bucket& b = buckets_[bi];
+      if (!b.empty() && key_(b.back()) < best) {
+        best = key_(b.back());
+        best_bucket = bi;
+      }
+    }
+    last_bucket_ = best_bucket;
+    last_prio_ = best;
+    bucket_top_ = (std::floor(best / width_) + 1) * width_;
+    Bucket& b = buckets_[best_bucket];
+    T out = std::move(b.back());
+    b.pop_back();
+    --size_;
+    return out;
+  }
+
+  const T* scan_min() const {
+    const T* best = nullptr;
+    double bestp = std::numeric_limits<double>::infinity();
+    for (const auto& b : buckets_) {
+      if (!b.empty() && key_(b.back()) < bestp) {
+        bestp = key_(b.back());
+        best = &b.back();
+      }
+    }
+    return best;
+  }
+
+  /// Brown's width heuristic: dequeue a small sample, average the
+  /// inter-event gaps (discarding outliers beyond twice the raw average),
+  /// and set the width to 3× the adjusted average.
+  double estimate_width() {
+    if (size_ < 2) return width_;
+    // Brown's newwidth(): the sampling dequeues must not move the queue's
+    // position, so save and restore it around the sample.
+    const double saved_prio = last_prio_;
+    const std::size_t saved_bucket = last_bucket_;
+    const double saved_top = bucket_top_;
+    std::size_t ns;
+    if (size_ <= 5) {
+      ns = size_;
+    } else {
+      ns = 5 + size_ / 10;
+    }
+    ns = std::min<std::size_t>(ns, 25);
+    sample_.clear();
+    for (std::size_t s = 0; s < ns; ++s) sample_.push_back(dequeue());
+    double raw = 0;
+    for (std::size_t s = 1; s < sample_.size(); ++s) {
+      raw += key_(sample_[s]) - key_(sample_[s - 1]);
+    }
+    raw /= static_cast<double>(sample_.size() - 1);
+    double adj = 0;
+    std::size_t kept = 0;
+    for (std::size_t s = 1; s < sample_.size(); ++s) {
+      const double gap = key_(sample_[s]) - key_(sample_[s - 1]);
+      if (gap <= 2 * raw) {
+        adj += gap;
+        ++kept;
+      }
+    }
+    const double avg = kept > 0 ? adj / static_cast<double>(kept) : raw;
+    // Restore the position before re-enqueueing so the sample (all at or
+    // after the saved clock) does not trip the behind-clock guard.
+    last_prio_ = saved_prio;
+    last_bucket_ = saved_bucket;
+    bucket_top_ = saved_top;
+    for (const T& v : sample_) enqueue(v);
+    const double w = 3.0 * avg;
+    return w > 0 ? w : width_;
+  }
+
+  void resize(std::size_t nbuckets) {
+    const double w = estimate_width();
+    old_.clear();
+    for (auto& b : buckets_) {
+      old_.insert(old_.end(), b.begin(), b.end());
+    }
+    const double start = size_ > 0 ? last_prio_ : 0.0;
+    const std::size_t n = old_.size();
+    init(nbuckets, w, std::max(0.0, start));
+    for (const T& v : old_) enqueue(v);
+    PH_ASSERT(size_ == n);
+  }
+
+  KeyFn key_;
+  std::vector<Bucket> buckets_;
+  double width_ = 1.0;
+  double last_prio_ = 0.0;     ///< priority of the last dequeued event
+  std::size_t last_bucket_ = 0;  ///< bucket of the last dequeued event
+  double bucket_top_ = 1.0;    ///< upper bound of the current day
+  bool has_past_ = false;      ///< an insertion went behind the clock
+  std::size_t size_ = 0;
+  std::vector<T> sample_, old_;  // scratch
+};
+
+}  // namespace ph

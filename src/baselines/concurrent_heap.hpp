@@ -1,0 +1,185 @@
+// InsertConcurrentHeap — a fine-grained-locking binary heap in the style of
+// Rao & Kumar ("Concurrent access of priority queues", IEEE ToC 1988), whose
+// key idea is *top-down insertion*: an inserted item descends from the root
+// toward its reserved slot with hand-over-hand node locks, swapping itself
+// with any larger item it passes. Multiple insertions pipeline down the
+// tree concurrently (they cannot overtake one another, so each compares
+// against settled values).
+//
+// Deletions are exclusive in this implementation: a deleter takes the entry
+// lock and waits for in-flight insertions to quiesce before extracting the
+// root and sifting down. The full Hunt-et-al. tag protocol that also
+// pipelines deletions is deliberately out of scope (see DESIGN.md): the
+// published races it exists to solve (a delete's sift-down writing above an
+// insertion that already passed) are exactly the ones this simplification
+// removes. The result is a sound middle point between the single global
+// lock (LockedPQ) and the parallel heap: insert-side concurrency only.
+//
+// Capacity is fixed at construction — slots must never relocate while other
+// threads hold their locks.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class InsertConcurrentHeap {
+ public:
+  explicit InsertConcurrentHeap(std::size_t capacity, Compare cmp = Compare())
+      : cmp_(std::move(cmp)),
+        capacity_(capacity),
+        slots_(std::make_unique<Slot[]>(capacity)) {
+    PH_ASSERT(capacity_ >= 1);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard g(entry_);
+    return size_;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Concurrent-safe insertion; returns false when the heap is full.
+  bool try_push(const T& v) {
+    entry_.lock();
+    if (size_ == capacity_) {
+      entry_.unlock();
+      return false;
+    }
+    const std::size_t n = size_++;
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+    if (n == 0) {
+      // Empty heap: place directly; no other operation can be in flight
+      // (in-flight insertions are counted in size_).
+      slots_[0].item = v;
+      slots_[0].full.store(true, std::memory_order_release);
+      entry_.unlock();
+      return true;
+    }
+    // Reserve the slot, join the in-flight set, take the root lock, and
+    // only then release the entry — the hand-over-hand chain starts at the
+    // root so later operations cannot overtake this one.
+    slots_[n].full.store(false, std::memory_order_relaxed);
+    const std::uint32_t now_inflight =
+        1 + inflight_.fetch_add(1, std::memory_order_acq_rel);
+    std::uint32_t peak = max_inflight_.load(std::memory_order_relaxed);
+    while (now_inflight > peak &&
+           !max_inflight_.compare_exchange_weak(peak, now_inflight,
+                                                std::memory_order_relaxed)) {
+    }
+    slots_[0].lock.lock();
+    entry_.unlock();
+
+    // Descend from the root along the ancestor path of slot n, carrying the
+    // larger of {x, node item} downward. Interior path nodes are always
+    // settled when reached (no overtaking), and the reserved slot is ours.
+    T x = v;
+    std::size_t cur = 0;
+    const std::size_t n1 = n + 1;  // 1-based for the path arithmetic
+    const auto depth = static_cast<std::size_t>(std::bit_width(n1)) - 1;
+    for (std::size_t shift = depth; shift-- > 0;) {
+      PH_ASSERT(slots_[cur].full.load(std::memory_order_acquire));
+      if (cmp_(x, slots_[cur].item)) {
+        std::swap(x, slots_[cur].item);
+      }
+      const std::size_t child = (n1 >> shift) - 1;
+      slots_[child].lock.lock();
+      slots_[cur].lock.unlock();
+      cur = child;
+    }
+    PH_ASSERT(cur == n);
+    slots_[n].item = x;
+    slots_[n].full.store(true, std::memory_order_release);
+    slots_[n].lock.unlock();
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  void push(const T& v) { PH_ASSERT_MSG(try_push(v), "heap is full"); }
+
+  /// Removes the minimum into `out`; returns false when empty. Exclusive:
+  /// waits for in-flight insertions, then runs alone.
+  bool try_pop(T& out) {
+    entry_.lock();
+    while (inflight_.load(std::memory_order_acquire) != 0) {
+      // In-flight inserters never need the entry lock; they will finish.
+      std::this_thread::yield();
+    }
+    if (size_ == 0) {
+      entry_.unlock();
+      return false;
+    }
+    pops_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t m = --size_;
+    T last = std::move(slots_[m].item);
+    slots_[m].full.store(false, std::memory_order_relaxed);
+    if (m == 0) {
+      out = std::move(last);
+      entry_.unlock();
+      return true;
+    }
+    out = std::move(slots_[0].item);
+    // Sift the displaced last item down; exclusive, so no slot locks needed.
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t c = 2 * i + 1;
+      if (c >= m) break;
+      if (c + 1 < m && cmp_(slots_[c + 1].item, slots_[c].item)) ++c;
+      if (!cmp_(slots_[c].item, last)) break;
+      slots_[i].item = std::move(slots_[c].item);
+      i = c;
+    }
+    slots_[i].item = std::move(last);
+    entry_.unlock();
+    return true;
+  }
+
+  std::uint64_t pushes() const noexcept { return pushes_.load(std::memory_order_relaxed); }
+  std::uint64_t pops() const noexcept { return pops_.load(std::memory_order_relaxed); }
+  std::uint32_t max_inflight() const noexcept {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Quiescent validity check (tests): slots [0, size) settled and
+  /// heap-ordered.
+  bool check_invariants() {
+    std::lock_guard g(entry_);
+    while (inflight_.load(std::memory_order_acquire) != 0) std::this_thread::yield();
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (!slots_[i].full.load(std::memory_order_acquire)) return false;
+      if (i > 0 && cmp_(slots_[i].item, slots_[(i - 1) / 2].item)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    Spinlock lock;
+    std::atomic<bool> full{false};
+    T item{};
+  };
+
+  Compare cmp_;
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  mutable Spinlock entry_;
+  std::size_t size_ = 0;  // guarded by entry_
+  std::atomic<std::uint32_t> inflight_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::uint32_t> max_inflight_{0};
+};
+
+}  // namespace ph

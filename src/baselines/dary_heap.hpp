@@ -1,0 +1,88 @@
+// Implicit d-ary min-heap. Wider nodes shorten the tree (fewer cache misses
+// on pops for moderate d), making it the strongest *serial* array-heap
+// baseline — useful to separate "parallel heap wins by parallelism" from
+// "parallel heap wins by better constants".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, std::size_t D = 4, typename Compare = std::less<T>>
+class DaryHeap {
+  static_assert(D >= 2, "arity must be at least 2");
+
+ public:
+  explicit DaryHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+  void clear() noexcept { data_.clear(); }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    return data_.front();
+  }
+
+  void push(const T& v) {
+    data_.push_back(v);
+    sift_up(data_.size() - 1);
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    T out = std::move(data_.front());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return out;
+  }
+
+  bool check_invariants() const {
+    for (std::size_t i = 1; i < data_.size(); ++i) {
+      if (cmp_(data_[i], data_[(i - 1) / D])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T v = std::move(data_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / D;
+      if (!cmp_(v, data_[parent])) break;
+      data_[i] = std::move(data_[parent]);
+      i = parent;
+    }
+    data_[i] = std::move(v);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    T v = std::move(data_[i]);
+    for (;;) {
+      const std::size_t first = D * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + D, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (cmp_(data_[c], data_[best])) best = c;
+      }
+      if (!cmp_(data_[best], v)) break;
+      data_[i] = std::move(data_[best]);
+      i = best;
+    }
+    data_[i] = std::move(v);
+  }
+
+  Compare cmp_;
+  std::vector<T> data_;
+};
+
+}  // namespace ph

@@ -1,0 +1,122 @@
+// Leftist heap — meldable heap with worst-case O(log n) meld via the
+// null-path-length (npl) invariant; the classical structured counterpart to
+// the amortized skew heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class LeftistHeap {
+ public:
+  explicit LeftistHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+  ~LeftistHeap() { clear(); }
+
+  LeftistHeap(LeftistHeap&& other) noexcept
+      : cmp_(std::move(other.cmp_)), root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  LeftistHeap& operator=(LeftistHeap&& other) noexcept {
+    if (this != &other) {
+      clear();
+      cmp_ = std::move(other.cmp_);
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  LeftistHeap(const LeftistHeap&) = delete;
+  LeftistHeap& operator=(const LeftistHeap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    return root_->value;
+  }
+
+  void push(const T& v) {
+    root_ = meld(root_, new Node{v, nullptr, nullptr, 1});
+    ++size_;
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    Node* old = root_;
+    T out = std::move(old->value);
+    root_ = meld(old->left, old->right);
+    delete old;
+    --size_;
+    return out;
+  }
+
+  void merge(LeftistHeap& other) {
+    root_ = meld(root_, other.root_);
+    size_ += other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+
+  void clear() noexcept {
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* cur = stack.back();
+      stack.pop_back();
+      if (cur->left != nullptr) stack.push_back(cur->left);
+      if (cur->right != nullptr) stack.push_back(cur->right);
+      delete cur;
+    }
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  bool check_invariants() const { return check(root_).first; }
+
+ private:
+  struct Node {
+    T value;
+    Node* left;
+    Node* right;
+    std::uint32_t npl;  ///< null path length
+  };
+
+  static std::uint32_t npl_of(const Node* n) noexcept { return n == nullptr ? 0 : n->npl; }
+
+  Node* meld(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (cmp_(b->value, a->value)) std::swap(a, b);
+    a->right = meld(a->right, b);
+    if (npl_of(a->left) < npl_of(a->right)) std::swap(a->left, a->right);
+    a->npl = npl_of(a->right) + 1;
+    return a;
+  }
+
+  /// Returns {valid, npl}.
+  std::pair<bool, std::uint32_t> check(const Node* n) const {
+    if (n == nullptr) return {true, 0};
+    if (n->left != nullptr && cmp_(n->left->value, n->value)) return {false, 0};
+    if (n->right != nullptr && cmp_(n->right->value, n->value)) return {false, 0};
+    auto [lok, lnpl] = check(n->left);
+    auto [rok, rnpl] = check(n->right);
+    if (!lok || !rok || lnpl < rnpl) return {false, 0};
+    if (n->npl != rnpl + 1) return {false, 0};
+    return {true, n->npl};
+  }
+
+  Compare cmp_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ph

@@ -1,0 +1,93 @@
+// LocalHeaps — per-processor event queues, the "simlocal" configuration of
+// the lineage: each of P partitions is a lock-guarded binary heap; a worker
+// pops from its own partition and new items are distributed across
+// partitions (round-robin here, matching the load-distributed variant).
+//
+// Semantics are deliberately *relaxed*: a local pop returns the minimum of
+// one partition, not the global minimum. That relaxation is exactly why the
+// lineage's simlocal suffers more rollbacks than the global queue — the
+// DES benchmark quantifies it via the out-of-order metric.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class LocalHeaps {
+ public:
+  explicit LocalHeaps(std::size_t partitions, Compare cmp = Compare())
+      : cmp_(cmp), parts_(partitions) {
+    PH_ASSERT(partitions >= 1);
+    for (auto& p : parts_) p->heap = BinaryHeap<T, Compare>(cmp);
+  }
+
+  std::size_t partitions() const noexcept { return parts_.size(); }
+
+  /// Inserts into an explicit partition (callers typically round-robin or
+  /// hash; the lineage's localdist inserts into a random partition).
+  void push(const T& v, std::size_t partition) {
+    Part& p = *parts_[partition % parts_.size()];
+    std::lock_guard g(p.lock);
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    p.heap.push(v);
+  }
+
+  /// Pops the minimum of partition `home`; when it is empty, scans the other
+  /// partitions (work stealing) so the structure only reports empty when
+  /// globally empty. Returns false if no item was found anywhere.
+  bool try_pop(std::size_t home, T& out) {
+    const std::size_t n = parts_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      Part& p = *parts_[(home + i) % n];
+      std::lock_guard g(p.lock);
+      acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      if (!p.heap.empty()) {
+        out = p.heap.pop();
+        if (i != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Total items across all partitions (takes all locks; O(P)).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (auto& p : parts_) {
+      std::lock_guard g(p->lock);
+      total += p->heap.size();
+    }
+    return total;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::uint64_t lock_acquisitions() const noexcept {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Part {
+    Part() = default;  // non-aggregate so Padded's {} uses direct-init
+    mutable Spinlock lock;
+    BinaryHeap<T, Compare> heap;
+  };
+
+  Compare cmp_;
+  std::vector<Padded<Part>> parts_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace ph

@@ -1,0 +1,82 @@
+// LockedPQ — a global priority queue guarded by a single lock: the
+// "heap with locks" comparator of the lineage's experiments (its Figures
+// compare the parallel-heap global event queue against exactly this). Every
+// operation takes the lock, so the structure serializes all accesses; the
+// acquisition counter quantifies that serialization for the
+// hardware-independent analysis.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace ph {
+
+template <typename Q, typename T, typename Lock = Spinlock>
+class LockedPQ {
+ public:
+  template <typename... Args>
+  explicit LockedPQ(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+  void push(const T& v) {
+    std::lock_guard g(lock_);
+    count_acquire();
+    q_.push(v);
+  }
+
+  /// Pops the minimum into `out`; returns false when empty. (Returning the
+  /// value by out-param keeps the empty-check and pop under one acquisition.)
+  bool try_pop(T& out) {
+    std::lock_guard g(lock_);
+    count_acquire();
+    if (q_.empty()) return false;
+    out = q_.pop();
+    return true;
+  }
+
+  /// Batch interface for the shared harness; still locks per item, because
+  /// the baseline being modeled synchronizes at item granularity.
+  void insert_batch(std::span<const T> items) {
+    for (const T& v : items) push(v);
+  }
+
+  std::size_t delete_min_batch(std::size_t k, std::vector<T>& out) {
+    T v{};
+    std::size_t n = 0;
+    while (n < k && try_pop(v)) {
+      out.push_back(v);
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t cycle(std::span<const T> new_items, std::size_t k, std::vector<T>& out) {
+    insert_batch(new_items);
+    return delete_min_batch(k, out);
+  }
+
+  std::size_t size() const {
+    std::lock_guard g(lock_);
+    return q_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  std::uint64_t lock_acquisitions() const noexcept {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void count_acquire() noexcept {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable Lock lock_;
+  Q q_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+};
+
+}  // namespace ph

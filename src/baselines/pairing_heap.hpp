@@ -1,0 +1,134 @@
+// Pairing heap — the strongest pointer-based serial comparator in practice
+// (O(1) amortized push, O(log n) amortized pop via two-pass pairing).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class PairingHeap {
+ public:
+  explicit PairingHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+  ~PairingHeap() { clear(); }
+
+  PairingHeap(PairingHeap&& other) noexcept
+      : cmp_(std::move(other.cmp_)), root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  PairingHeap& operator=(PairingHeap&& other) noexcept {
+    if (this != &other) {
+      clear();
+      cmp_ = std::move(other.cmp_);
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  PairingHeap(const PairingHeap&) = delete;
+  PairingHeap& operator=(const PairingHeap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    return root_->value;
+  }
+
+  void push(const T& v) {
+    root_ = meld(root_, new Node{v, nullptr, nullptr});
+    ++size_;
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    Node* old = root_;
+    T out = std::move(old->value);
+    root_ = two_pass_merge(old->child);
+    delete old;
+    --size_;
+    return out;
+  }
+
+  void clear() noexcept {
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* cur = stack.back();
+      stack.pop_back();
+      if (cur->child != nullptr) stack.push_back(cur->child);
+      if (cur->sibling != nullptr) stack.push_back(cur->sibling);
+      delete cur;
+    }
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  bool check_invariants() const {
+    if (root_ == nullptr) return size_ == 0;
+    std::vector<const Node*> stack{root_};
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      const Node* cur = stack.back();
+      stack.pop_back();
+      ++count;
+      for (const Node* c = cur->child; c != nullptr; c = c->sibling) {
+        if (cmp_(c->value, cur->value)) return false;
+        stack.push_back(c);
+      }
+    }
+    return count == size_;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* child;    ///< first child
+    Node* sibling;  ///< next sibling in the child list
+  };
+
+  Node* meld(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (cmp_(b->value, a->value)) std::swap(a, b);
+    b->sibling = a->child;
+    a->child = b;
+    return a;
+  }
+
+  /// Classic two-pass pairing: left-to-right pairwise meld, then
+  /// right-to-left fold.
+  Node* two_pass_merge(Node* first) {
+    pairs_.clear();
+    while (first != nullptr) {
+      Node* a = first;
+      Node* b = a->sibling;
+      if (b == nullptr) {
+        a->sibling = nullptr;
+        pairs_.push_back(a);
+        break;
+      }
+      first = b->sibling;
+      a->sibling = nullptr;
+      b->sibling = nullptr;
+      pairs_.push_back(meld(a, b));
+    }
+    Node* result = nullptr;
+    for (std::size_t i = pairs_.size(); i-- > 0;) result = meld(result, pairs_[i]);
+    return result;
+  }
+
+  Compare cmp_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<Node*> pairs_;  // scratch for two_pass_merge
+};
+
+}  // namespace ph

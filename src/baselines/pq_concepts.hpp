@@ -1,0 +1,61 @@
+// Shared interface bits for the baseline priority queues.
+//
+// All baselines expose a scalar interface:
+//   void push(const T&);  T pop();  const T& top() const;
+//   std::size_t size() const;  bool empty() const;
+// BatchAdapter lifts any such queue to the batch interface of the parallel
+// heap (insert_batch / delete_min_batch), so the benchmark harness can drive
+// every structure through one code path.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ph {
+
+template <typename Q, typename T>
+concept ScalarPriorityQueue = requires(Q q, const Q cq, const T v) {
+  q.push(v);
+  { q.pop() } -> std::convertible_to<T>;
+  { cq.top() } -> std::convertible_to<const T&>;
+  { cq.size() } -> std::convertible_to<std::size_t>;
+  { cq.empty() } -> std::convertible_to<bool>;
+};
+
+/// Lifts a scalar priority queue to the batch interface.
+template <typename Q, typename T>
+  requires ScalarPriorityQueue<Q, T>
+class BatchAdapter {
+ public:
+  template <typename... Args>
+  explicit BatchAdapter(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+  void insert_batch(std::span<const T> items) {
+    for (const T& v : items) q_.push(v);
+  }
+
+  std::size_t delete_min_batch(std::size_t k, std::vector<T>& out) {
+    std::size_t n = 0;
+    while (n < k && !q_.empty()) {
+      out.push_back(q_.pop());
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t cycle(std::span<const T> new_items, std::size_t k, std::vector<T>& out) {
+    insert_batch(new_items);
+    return delete_min_batch(k, out);
+  }
+
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  Q& underlying() { return q_; }
+
+ private:
+  Q q_;
+};
+
+}  // namespace ph

@@ -1,0 +1,137 @@
+// Skew heap — the self-adjusting meldable heap whose concurrent variant
+// (Jones 1989, "Concurrent operations on priority queues") is one of the
+// concurrent comparators named by the lineage. Meld is the only primitive;
+// push and pop are melds. Amortized O(log n).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+template <typename T, typename Compare = std::less<T>>
+class SkewHeap {
+ public:
+  explicit SkewHeap(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+  ~SkewHeap() { clear(); }
+
+  SkewHeap(SkewHeap&& other) noexcept
+      : cmp_(std::move(other.cmp_)), root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  SkewHeap& operator=(SkewHeap&& other) noexcept {
+    if (this != &other) {
+      clear();
+      cmp_ = std::move(other.cmp_);
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  SkewHeap(const SkewHeap&) = delete;
+  SkewHeap& operator=(const SkewHeap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& top() const {
+    PH_ASSERT(!empty());
+    return root_->value;
+  }
+
+  void push(const T& v) {
+    root_ = meld(root_, new Node{v, nullptr, nullptr});
+    ++size_;
+  }
+
+  T pop() {
+    PH_ASSERT(!empty());
+    Node* old = root_;
+    T out = std::move(old->value);
+    root_ = meld(old->left, old->right);
+    delete old;
+    --size_;
+    return out;
+  }
+
+  /// Absorbs the other heap (meld); `other` is left empty.
+  void merge(SkewHeap& other) {
+    root_ = meld(root_, other.root_);
+    size_ += other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+
+  void clear() noexcept {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  bool check_invariants() const { return check(root_); }
+
+ private:
+  struct Node {
+    T value;
+    Node* left;
+    Node* right;
+  };
+
+  /// Iterative top-down skew meld: walk the right spines, always taking the
+  /// smaller root and swapping children (the "skew" that self-balances).
+  Node* meld(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (cmp_(b->value, a->value)) std::swap(a, b);
+    Node* head = a;
+    // After taking `a`, its children swap; continue melding `b` into the
+    // (new) left slot, which was the right spine.
+    for (;;) {
+      std::swap(a->left, a->right);
+      Node* next = a->left;
+      if (next == nullptr) {
+        a->left = b;
+        break;
+      }
+      if (cmp_(b->value, next->value)) {
+        a->left = b;
+        a = b;
+        b = next;
+      } else {
+        a = next;
+      }
+    }
+    return head;
+  }
+
+  bool check(const Node* n) const {
+    if (n == nullptr) return true;
+    if (n->left != nullptr && cmp_(n->left->value, n->value)) return false;
+    if (n->right != nullptr && cmp_(n->right->value, n->value)) return false;
+    return check(n->left) && check(n->right);
+  }
+
+  void destroy(Node* n) noexcept {
+    // Iterative to avoid deep recursion on degenerate shapes.
+    std::vector<Node*> stack;
+    if (n != nullptr) stack.push_back(n);
+    while (!stack.empty()) {
+      Node* cur = stack.back();
+      stack.pop_back();
+      if (cur->left != nullptr) stack.push_back(cur->left);
+      if (cur->right != nullptr) stack.push_back(cur->right);
+      delete cur;
+    }
+  }
+
+  Compare cmp_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ph

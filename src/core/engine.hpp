@@ -1,0 +1,195 @@
+// ParallelHeapEngine — the multithreaded driver around the pipelined heap,
+// mirroring the system of Prasad & Sawant (SPDP'95): of the available
+// threads, `think_threads` run the application's think phase on each deleted
+// batch ("simulation processors") while `maintenance_threads` service the
+// heap's update processes ("maintenance processors"). The two teams overlap:
+// while the think team processes cycle g's batch, the maintenance team runs
+// both half-steps of the pipeline; the serial root work then closes the
+// cycle. This reordering (root, even, odd, root, ...) is schedule-equivalent
+// to PipelinedParallelHeap::step() — only the position of the cycle boundary
+// differs — so all the pipelined heap's differential guarantees carry over.
+//
+// The think phase sees, per cycle, the k globally smallest items, dealt
+// round-robin to the workers exactly as the paper distributes the deleted
+// messages across simulation processors.
+#pragma once
+
+#include <cstdint>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pipelined_heap.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ph {
+
+struct EngineConfig {
+  std::size_t node_capacity = 1024;  ///< r: batch width and node size
+  /// Think workers. 0 runs the think phase inline on the driver thread
+  /// (no overlap) — useful as the serial baseline.
+  unsigned think_threads = 1;
+  /// Maintenance workers. 0 services update processes on the driver thread,
+  /// which still overlaps with the think team.
+  unsigned maintenance_threads = 0;
+  std::size_t batch = 0;  ///< k items deleted per cycle; 0 → node_capacity
+  bool pin_threads = false;
+};
+
+struct EngineReport {
+  std::uint64_t cycles = 0;
+  std::uint64_t items_processed = 0;  ///< items handed to the think phase
+  double seconds = 0;                 ///< wall time inside run()
+  double maint_seconds = 0;           ///< driver time in pipeline half-steps
+  double think_stall_seconds = 0;     ///< driver time waiting on the think team
+  double root_seconds = 0;            ///< driver time in root work
+};
+
+template <typename T, typename Compare = std::less<T>>
+class ParallelHeapEngine {
+ public:
+  using Heap = PipelinedParallelHeap<T, Compare>;
+  /// think(tid, mine, batch, out): process `mine` — this worker's
+  /// round-robin share of the cycle's deleted batch — appending any newly
+  /// produced items to `out`. `batch` is the whole cycle's deleted batch in
+  /// ascending order (so batch.front() is the cycle's GVT). Runs
+  /// concurrently on all think workers; must not touch the heap.
+  using ThinkFn = std::function<void(unsigned, std::span<const T>, std::span<const T>,
+                                     std::vector<T>&)>;
+
+  explicit ParallelHeapEngine(EngineConfig cfg, Compare cmp = Compare())
+      : cfg_(cfg), heap_(cfg.node_capacity, std::move(cmp)) {
+    if (cfg_.batch == 0 || cfg_.batch > cfg_.node_capacity) {
+      cfg_.batch = cfg_.node_capacity;
+    }
+    const unsigned s = cfg_.think_threads;
+    if (s > 0) think_team_ = std::make_unique<ThreadTeam>(s, cfg_.pin_threads);
+    if (cfg_.maintenance_threads > 0) {
+      maint_team_ =
+          std::make_unique<ThreadTeam>(cfg_.maintenance_threads, cfg_.pin_threads);
+      maint_ctx_.resize(cfg_.maintenance_threads);
+    }
+    const unsigned lanes = s == 0 ? 1 : s;
+    in_.resize(lanes);
+    out_.resize(lanes);
+  }
+
+  Heap& heap() noexcept { return heap_; }
+  const EngineConfig& config() const noexcept { return cfg_; }
+
+  /// Bulk-loads the initial content (O(n log n)).
+  void seed(std::span<const T> initial) { heap_.build(initial); }
+
+  /// Cooperative stop: callable from inside a think function; the current
+  /// cycle completes (its new items are inserted) and run() returns.
+  void request_stop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Runs insert-delete cycles until the heap (and all produced work) is
+  /// exhausted, `max_items` items have been handed to the think phase
+  /// (0 = unlimited), or request_stop() is called. Returns wall-clock and
+  /// phase accounting.
+  EngineReport run(const ThinkFn& think, std::uint64_t max_items = 0) {
+    EngineReport rep;
+    Timer wall;
+    stop_requested_.store(false, std::memory_order_relaxed);
+    PhaseTimer maint, stall, root;
+
+    batch_out_.clear();
+    root.start();
+    heap_.root_work_public({}, cfg_.batch, batch_out_);
+    root.stop();
+
+    while (!batch_out_.empty()) {
+      ++rep.cycles;
+      rep.items_processed += batch_out_.size();
+
+      const unsigned lanes = static_cast<unsigned>(in_.size());
+      for (auto& lane : in_) lane->clear();
+      for (auto& lane : out_) lane->clear();
+      // Round-robin deal, as the paper distributes deleted messages.
+      for (std::size_t i = 0; i < batch_out_.size(); ++i) {
+        in_[i % lanes]->push_back(batch_out_[i]);
+      }
+
+      if (think_team_) {
+        think_fn_ = [&](unsigned tid) {
+          think(tid, std::span<const T>(*in_[tid]), std::span<const T>(batch_out_),
+                *out_[tid]);
+        };
+        think_team_->begin(think_fn_);
+        maint.start();
+        advance_both();
+        maint.stop();
+        stall.start();
+        think_team_->wait();
+        stall.stop();
+      } else {
+        think(0, std::span<const T>(*in_[0]), std::span<const T>(batch_out_),
+              *out_[0]);
+        maint.start();
+        advance_both();
+        maint.stop();
+      }
+
+      new_items_.clear();
+      for (auto& lane : out_) {
+        new_items_.insert(new_items_.end(), lane->begin(), lane->end());
+      }
+
+      const bool stop = (max_items != 0 && rep.items_processed >= max_items) ||
+                        stop_requested_.load(std::memory_order_relaxed);
+      batch_out_.clear();
+      root.start();
+      heap_.root_work_public(new_items_, stop ? 0 : cfg_.batch, batch_out_);
+      root.stop();
+      if (stop) break;
+    }
+
+    rep.seconds = wall.seconds();
+    rep.maint_seconds = maint.total_seconds();
+    rep.think_stall_seconds = stall.total_seconds();
+    rep.root_seconds = root.total_seconds();
+    return rep;
+  }
+
+ private:
+  /// Runs both pipeline half-steps (even, then odd — the schedule-equivalent
+  /// rotation of step()'s odd/root/even), on the maintenance team when
+  /// configured, else on the driver thread.
+  void advance_both() {
+    if (!maint_team_) {
+      heap_.advance(0);
+      heap_.advance(1);
+      return;
+    }
+    auto runner = [this](std::size_t ngroups,
+                         const std::function<void(std::size_t,
+                                                  typename Heap::ServiceCtx&)>& fn) {
+      const unsigned mt = maint_team_->size();
+      maint_team_->run([&](unsigned tid) {
+        for (std::size_t g = tid; g < ngroups; g += mt) fn(g, *maint_ctx_[tid]);
+      });
+      for (auto& ctx : maint_ctx_) heap_.merge_ctx(*ctx);
+    };
+    heap_.advance_with(0, runner);
+    heap_.advance_with(1, runner);
+  }
+
+  EngineConfig cfg_;
+  Heap heap_;
+  std::unique_ptr<ThreadTeam> think_team_;
+  std::unique_ptr<ThreadTeam> maint_team_;
+  std::vector<Padded<typename Heap::ServiceCtx>> maint_ctx_;
+  std::vector<Padded<std::vector<T>>> in_, out_;
+  std::vector<T> batch_out_, new_items_;
+  std::function<void(unsigned)> think_fn_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace ph

@@ -1,0 +1,203 @@
+// The node-local delete-update kernel, shared by the synchronous and
+// pipelined heaps.
+//
+// Given node v (sorted, possibly violating against its children) and its
+// children L, R (each internally consistent with its own subtree), restore
+// v ≤ L and v ≤ R by the minimal exchange:
+//
+//   t  = the largest count such that the t smallest items of L ∪ R precede
+//        the t largest items of v (discovered with a two-pointer walk, so
+//        the common no-op/small-violation cases cost O(t), not O(r));
+//   v  keeps its nv − t smallest plus those t child items (newV is exactly
+//        the nv smallest of v ∪ L ∪ R);
+//   the displaced t items of v ("fills") return to the children by count —
+//        tL to L and tR to R, matching the prefixes taken. Any
+//        count-preserving assignment is correct (every fill follows every
+//        kept item); to minimize how far violations cascade, the child whose
+//        own children start later receives the larger fills.
+//
+// The caller decides how to continue: the result reports, per child, whether
+// it received fills and whether its new content still violates against the
+// grandchildren threshold the caller supplied.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/sorted_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ph {
+
+/// Scratch buffers for fix_node (reuse across calls to stay allocation-free).
+template <typename T>
+struct FixScratch {
+  std::vector<T> kid_prefix, dirty, lsuf, rsuf, tmp;
+};
+
+template <typename T>
+struct FixOutcome {
+  std::size_t taken_l = 0;      ///< items pulled up from L (== fills returned)
+  std::size_t taken_r = 0;      ///< items pulled up from R
+  bool l_violates = false;      ///< L's new max exceeds the supplied threshold
+  bool r_violates = false;
+  std::size_t items_moved = 0;  ///< total items written (work accounting)
+};
+
+/// Repairs v against its children in place. `gl`/`gr` are the minima of L's
+/// and R's own children (nullptr when none) — used both to route the larger
+/// fills to the more tolerant child and to report whether each child now
+/// violates one level further down. Preconditions: all spans sorted; the
+/// caller has already established that a violation exists.
+template <typename T, typename Compare>
+FixOutcome<T> fix_node(std::span<T> sv, std::span<T> sl, std::span<T> sr,
+                       const T* gl, const T* gr, FixScratch<T>& s, Compare cmp) {
+  const std::size_t nv = sv.size();
+  const std::size_t nl = sl.size();
+  const std::size_t nr = sr.size();
+  PH_ASSERT(nv > 0);
+
+  // Two-pointer exchange discovery: stream the children's merged prefix
+  // against v's suffix (largest first).
+  s.kid_prefix.clear();
+  std::size_t il = 0, ir = 0, t = 0;
+  while (t < nv && (il < nl || ir < nr)) {
+    // Tie-consistent: prefer L on ties (matches select_smallest3's order).
+    const bool from_l = ir >= nr || (il < nl && !cmp(sr[ir], sl[il]));
+    const T& cand = from_l ? sl[il] : sr[ir];
+    if (!cmp(cand, sv[nv - 1 - t])) break;  // no longer profitable: done
+    s.kid_prefix.push_back(cand);
+    if (from_l) {
+      ++il;
+    } else {
+      ++ir;
+    }
+    ++t;
+  }
+  FixOutcome<T> out;
+  out.taken_l = il;
+  out.taken_r = ir;
+  if (t == 0) return out;
+
+  // Save the displaced suffix of v, then rebuild v = merge(kept, kid_prefix).
+  s.dirty.assign(sv.begin() + static_cast<std::ptrdiff_t>(nv - t), sv.end());
+  s.tmp.clear();
+  merge2(std::span<const T>(sv.data(), nv - t), std::span<const T>(s.kid_prefix),
+         s.tmp, cmp);
+  std::copy(s.tmp.begin(), s.tmp.end(), sv.begin());
+  out.items_moved += nv;
+
+  // Route the larger fills to the child whose grandchildren start later.
+  const bool larger_to_left = gr == nullptr || (gl != nullptr && !cmp(*gl, *gr));
+  const std::size_t l_off = larger_to_left ? ir : 0;
+  const std::size_t r_off = larger_to_left ? 0 : il;
+
+  if (il > 0) {
+    s.lsuf.assign(sl.begin() + static_cast<std::ptrdiff_t>(il), sl.end());
+    s.tmp.clear();
+    merge2(std::span<const T>(s.lsuf), std::span<const T>(s.dirty.data() + l_off, il),
+           s.tmp, cmp);
+    PH_ASSERT(s.tmp.size() == nl);
+    std::copy(s.tmp.begin(), s.tmp.end(), sl.begin());
+    out.items_moved += nl;
+    out.l_violates = gl != nullptr && cmp(*gl, s.tmp.back());
+  }
+  if (ir > 0) {
+    s.rsuf.assign(sr.begin() + static_cast<std::ptrdiff_t>(ir), sr.end());
+    s.tmp.clear();
+    merge2(std::span<const T>(s.rsuf), std::span<const T>(s.dirty.data() + r_off, ir),
+           s.tmp, cmp);
+    PH_ASSERT(s.tmp.size() == nr);
+    std::copy(s.tmp.begin(), s.tmp.end(), sr.begin());
+    out.items_moved += nr;
+    out.r_violates = gr != nullptr && cmp(*gr, s.tmp.back());
+  }
+  return out;
+}
+
+/// Generalization of fix_node to d ≥ 2 children (the d-ary parallel heap).
+/// `children[c]` are the child spans (possibly empty), `grandmins[c]` the
+/// minima one level below each child (nullptr when none). Writes per-child
+/// taken counts and residual-violation flags; returns items moved.
+/// Fill routing: children are ranked by tolerance (their grandmin, with
+/// "no grandchildren" most tolerant); less tolerant children take lower
+/// slices of the displaced pool.
+template <typename T, typename Compare>
+std::size_t fix_node_multi(std::span<T> sv, std::span<std::span<T>> children,
+                           std::span<const T* const> grandmins,
+                           std::span<std::size_t> taken_out,
+                           std::span<bool> violates_out, FixScratch<T>& s,
+                           Compare cmp) {
+  const std::size_t nv = sv.size();
+  const std::size_t d = children.size();
+  PH_ASSERT(nv > 0 && d >= 2);
+  PH_ASSERT(taken_out.size() == d && violates_out.size() == d && grandmins.size() == d);
+
+  // Exchange discovery: d-way tournament over child heads vs v's suffix.
+  s.kid_prefix.clear();
+  for (std::size_t c = 0; c < d; ++c) {
+    taken_out[c] = 0;
+    violates_out[c] = false;
+  }
+  std::size_t t = 0;
+  while (t < nv) {
+    std::size_t best = d;
+    for (std::size_t c = 0; c < d; ++c) {
+      if (taken_out[c] >= children[c].size()) continue;
+      if (best == d || cmp(children[c][taken_out[c]], children[best][taken_out[best]])) {
+        best = c;
+      }
+    }
+    if (best == d) break;  // all children exhausted
+    const T& cand = children[best][taken_out[best]];
+    if (!cmp(cand, sv[nv - 1 - t])) break;
+    s.kid_prefix.push_back(cand);
+    ++taken_out[best];
+    ++t;
+  }
+  if (t == 0) return 0;
+
+  std::size_t moved = 0;
+  s.dirty.assign(sv.begin() + static_cast<std::ptrdiff_t>(nv - t), sv.end());
+  s.tmp.clear();
+  merge2(std::span<const T>(sv.data(), nv - t), std::span<const T>(s.kid_prefix),
+         s.tmp, cmp);
+  std::copy(s.tmp.begin(), s.tmp.end(), sv.begin());
+  moved += nv;
+
+  // Rank children by tolerance: ascending grandmin, nullptr (= unbounded)
+  // last. Stable order keeps the operation deterministic.
+  std::array<std::size_t, 16> order{};
+  PH_ASSERT(d <= order.size());
+  for (std::size_t c = 0; c < d; ++c) order[c] = c;
+  std::stable_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(d),
+                   [&](std::size_t a, std::size_t b) {
+                     if (grandmins[a] == nullptr) return false;
+                     if (grandmins[b] == nullptr) return true;
+                     return cmp(*grandmins[a], *grandmins[b]);
+                   });
+
+  std::size_t offset = 0;
+  for (std::size_t rank = 0; rank < d; ++rank) {
+    const std::size_t c = order[rank];
+    const std::size_t k = taken_out[c];
+    if (k == 0) continue;
+    s.lsuf.assign(children[c].begin() + static_cast<std::ptrdiff_t>(k),
+                  children[c].end());
+    s.tmp.clear();
+    merge2(std::span<const T>(s.lsuf), std::span<const T>(s.dirty.data() + offset, k),
+           s.tmp, cmp);
+    PH_ASSERT(s.tmp.size() == children[c].size());
+    std::copy(s.tmp.begin(), s.tmp.end(), children[c].begin());
+    moved += s.tmp.size();
+    violates_out[c] = grandmins[c] != nullptr && cmp(*grandmins[c], s.tmp.back());
+    offset += k;
+  }
+  PH_ASSERT(offset == t);
+  return moved;
+}
+
+}  // namespace ph

@@ -1,0 +1,628 @@
+// PipelinedParallelHeap — the paper's level-pipelined maintenance schedule.
+//
+// Where ParallelHeap (parallel_heap.hpp) runs every update process to
+// quiescence inside each operation, this variant implements the ICPP'90
+// pipeline: update processes (insert-updates carrying items toward a tail
+// node, delete-updates repairing the order condition behind a deletion) are
+// parked per level and advanced in the odd/even half-step schedule of the
+// paper's PerformInsertDelete cycle:
+//
+//   step():  1. service all processes at odd levels   (they move down one)
+//            2. root work: merge the new items with the root, extract the k
+//               smallest, refill with substitutes if the heap shrank, spawn
+//               this generation's processes at the root level
+//            3. service all processes at even levels  (they move down one)
+//
+// (The paper's "think" phase happens between the caller's step() calls.)
+// A generation therefore descends two levels per cycle, and successive
+// generations stay exactly two levels apart: processes of different
+// generations never touch the same node in the same half-step. Better: a
+// process at level ℓ touches only nodes at ℓ and ℓ+1, and same-parity
+// levels are two apart, so *every process of a half-step that operates on a
+// distinct node is independent of every other*. advance_with() exposes
+// exactly that parallelism: it groups the half-step's processes by node and
+// hands the groups to a caller-supplied runner (the multithreaded engine
+// runs them on its maintenance team; the serial API runs them in a loop).
+//
+// Each cycle is O(r) critical-path work regardless of heap size; total
+// maintenance work per cycle is O(r log n) spread across the pipeline.
+//
+// Substitute fetch under pipelining. A shrinking heap must refill the root
+// from its logical tail, but the tail slots may belong to deliveries still
+// in flight. We then *steal* the substitutes directly from the in-flight
+// carried set that owns those slots (back first — its largest items), which
+// keeps the committed-slot arithmetic exact without ever stalling the
+// pipeline. Steals are counted in pipeline_stats().
+//
+// Correctness note. That a deletion (the k smallest of root ∪ new items) is
+// globally correct even with processes in flight is the central theorem of
+// the paper. This implementation is differential-tested against the
+// synchronous reference and a sorted-multiset oracle over randomized and
+// adversarial schedules (tests/test_pipelined_heap.cpp).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/node_fix.hpp"
+#include "core/parallel_heap.hpp"  // HeapStats
+#include "core/sorted_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ph {
+
+/// Pipeline-specific counters, additive to HeapStats.
+struct PipelineStats {
+  std::uint64_t procs_spawned = 0;
+  std::uint64_t procs_serviced = 0;
+  std::uint64_t steals = 0;        ///< substitute items stolen from carried sets
+  std::uint64_t max_inflight = 0;  ///< peak number of pending processes
+  std::uint64_t half_steps = 0;    ///< level-service phases executed
+  std::uint64_t task_groups = 0;   ///< independent node groups, summed over half-steps
+  std::uint64_t max_groups = 0;    ///< peak node groups in one half-step (parallelism width)
+};
+
+template <typename T, typename Compare = std::less<T>>
+class PipelinedParallelHeap {
+ private:
+  enum class Kind : std::uint8_t { kDelete, kInsert };
+
+  struct ProcT {
+    Kind kind;
+    std::size_t node;        ///< node to service next
+    std::size_t target;      ///< insert only: destination (tail) node
+    std::uint64_t id;        ///< spawn order; later procs own later tail slots
+    std::vector<T> carried;  ///< insert only: items in flight (sorted)
+  };
+
+ public:
+  /// Per-worker service context: scratch buffers, locally spawned processes
+  /// and stat deltas, merged back serially after a parallel half-step.
+  class ServiceCtx {
+   public:
+    ServiceCtx() = default;
+
+   private:
+    friend class PipelinedParallelHeap;
+    std::vector<T> tmp_, kept_, rest_;
+    FixScratch<T> fix_;
+    std::vector<ProcT> spawned_;
+    HeapStats stats_{};
+  };
+
+  explicit PipelinedParallelHeap(std::size_t node_capacity, Compare cmp = Compare())
+      : r_(node_capacity), cmp_(std::move(cmp)) {
+    PH_ASSERT(r_ >= 1);
+  }
+
+  /// Committed size: stored items plus items in flight in carried sets.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t node_capacity() const noexcept { return r_; }
+  std::size_t num_nodes() const noexcept { return (size_ + r_ - 1) / r_; }
+
+  /// Pending update processes (0 when quiescent).
+  std::size_t inflight() const noexcept { return inflight_; }
+
+  /// Replaces the content with `items` in one O(n log n) bulk load (sorted
+  /// breadth-first layout; see ParallelHeap::build). Any in-flight
+  /// processes are discarded together with the old content.
+  void build(std::span<const T> items) {
+    procs_.clear();
+    inflight_ = 0;
+    const std::size_t m = (items.size() + r_ - 1) / r_;
+    cnt_.assign(m, 0);
+    arena_.assign(m * r_, T{});
+    std::copy(items.begin(), items.end(), arena_.begin());
+    std::sort(arena_.begin(),
+              arena_.begin() + static_cast<std::ptrdiff_t>(items.size()), cmp_);
+    size_ = items.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      cnt_[i] = std::min(r_, items.size() - i * r_);
+    }
+    stats_.items_inserted += items.size();
+  }
+
+  /// One pipelined insert-delete cycle: services odd levels, removes the k
+  /// (≤ r) smallest of (heap ∪ new_items) appending them sorted to `out`,
+  /// inserts the remaining new items, then services even levels. Returns
+  /// the number deleted.
+  std::size_t step(std::span<const T> new_items, std::size_t k, std::vector<T>& out) {
+    PH_ASSERT_MSG(k <= r_, "step(): k must not exceed the node capacity r");
+    ++stats_.cycles;
+    stats_.items_inserted += new_items.size();
+    advance(/*parity=*/1);
+    const std::size_t take = root_work(new_items, k, out);
+    advance(/*parity=*/0);
+    return take;
+  }
+
+  /// The three phases of step(), exposed separately so a driver can overlap
+  /// its think phase with maintenance (engine.hpp). The serial-equivalent
+  /// schedule is: root_work of cycle g, advance(0), advance(1), root_work of
+  /// cycle g+1, ... — identical to repeated step() calls up to the position
+  /// of the cycle boundary.
+  std::size_t root_work_public(std::span<const T> new_items, std::size_t k,
+                               std::vector<T>& out) {
+    PH_ASSERT(k <= r_);
+    ++stats_.cycles;
+    stats_.items_inserted += new_items.size();
+    return root_work(new_items, k, out);
+  }
+
+  /// Services every process parked at levels of the given parity (0 = even,
+  /// 1 = odd) serially on the calling thread.
+  void advance(std::size_t parity) {
+    advance_with(parity, [this](std::size_t ngroups,
+                                const std::function<void(std::size_t, ServiceCtx&)>& fn) {
+      for (std::size_t g = 0; g < ngroups; ++g) fn(g, ctx_);
+    });
+  }
+
+  /// Parallel half-step: collects the parity's processes, groups them by
+  /// node (groups are mutually independent — see file comment), and invokes
+  ///   runner(ngroups, fn)
+  /// which must call fn(g, ctx) exactly once for every g in [0, ngroups),
+  /// possibly concurrently, with a distinct ServiceCtx per concurrent
+  /// worker. Spawned processes and stat deltas are merged serially after
+  /// the runner returns.
+  template <typename Runner>
+  void advance_with(std::size_t parity, Runner&& runner) {
+    ++pstats_.half_steps;
+    batch_.clear();
+    for (std::size_t lvl = 0; lvl < procs_.size(); ++lvl) {
+      if (lvl % 2 != parity || procs_[lvl].empty()) continue;
+      for (auto& p : procs_[lvl]) batch_.push_back(std::move(p));
+      procs_[lvl].clear();
+    }
+    if (batch_.empty()) return;
+    inflight_ -= batch_.size();
+    run_batch(std::forward<Runner>(runner));
+  }
+
+  /// Harness-interface alias: every global queue in this library exposes
+  /// cycle(new_items, k, out); for the pipelined heap a cycle is a step.
+  std::size_t cycle(std::span<const T> new_items, std::size_t k, std::vector<T>& out) {
+    return step(new_items, k, out);
+  }
+
+  /// Convenience wrappers matching the synchronous heap's API.
+  void insert_batch(std::span<const T> items) {
+    std::vector<T> sink;
+    step(items, 0, sink);
+  }
+  std::size_t delete_min_batch(std::size_t k, std::vector<T>& out) {
+    std::size_t removed = 0;
+    while (removed < k && size_ > 0) {
+      removed += step({}, std::min({k - removed, r_, size_}), out);
+    }
+    return removed;
+  }
+
+  /// Runs all pending processes to completion (oldest generation first:
+  /// deepest level serviced first, so younger processes never observe a
+  /// node with an older process still pending below it).
+  void drain() {
+    while (inflight_ > 0) {
+      std::size_t deepest = 0;
+      bool found = false;
+      for (std::size_t lvl = procs_.size(); lvl-- > 0;) {
+        if (!procs_[lvl].empty()) {
+          deepest = lvl;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      batch_.clear();
+      for (auto& p : procs_[deepest]) batch_.push_back(std::move(p));
+      procs_[deepest].clear();
+      inflight_ -= batch_.size();
+      run_batch([this](std::size_t ngroups,
+                       const std::function<void(std::size_t, ServiceCtx&)>& fn) {
+        for (std::size_t g = 0; g < ngroups; ++g) fn(g, ctx_);
+      });
+    }
+  }
+
+  /// Verifies structural invariants. Drains first (so not const).
+  bool check_invariants(std::string* why = nullptr) {
+    drain();
+    const std::size_t m = num_nodes();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (cnt_[i] != occupancy(i)) {
+        return fail(why, "node " + std::to_string(i) + " stored count " +
+                             std::to_string(cnt_[i]) + " != occupancy " +
+                             std::to_string(occupancy(i)));
+      }
+      const auto s = node_span(i);
+      if (!is_sorted_run(std::span<const T>(s.data(), s.size()), cmp_)) {
+        return fail(why, "node " + std::to_string(i) + " is not sorted");
+      }
+      for (std::size_t c = 2 * i + 1; c <= 2 * i + 2; ++c) {
+        if (c >= m || node_count(c) == 0) continue;
+        const auto cs = node_span(c);
+        if (cmp_(cs.front(), s.back())) {
+          return fail(why, "heap condition violated between node " +
+                               std::to_string(i) + " and child " + std::to_string(c));
+        }
+      }
+    }
+    return true;
+  }
+
+  /// All contents in ascending order (drains; testing/diagnostics).
+  std::vector<T> sorted_contents() {
+    drain();
+    std::vector<T> all;
+    all.reserve(size_);
+    for (std::size_t i = 0; i < num_nodes(); ++i) {
+      auto s = node_span(i);
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    std::sort(all.begin(), all.end(), cmp_);
+    return all;
+  }
+
+  const HeapStats& stats() const noexcept { return stats_; }
+  const PipelineStats& pipeline_stats() const noexcept { return pstats_; }
+  void reset_stats() noexcept {
+    stats_ = HeapStats{};
+    pstats_ = PipelineStats{};
+  }
+
+ private:
+  static bool fail(std::string* why, std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  }
+
+  /// Committed occupancy of node i (stored + in-flight deliveries); implied
+  /// by the contiguous-slot rule.
+  std::size_t occupancy(std::size_t i) const noexcept {
+    const std::size_t lo = i * r_;
+    if (lo >= size_) return 0;
+    return std::min(r_, size_ - lo);
+  }
+
+  std::size_t node_count(std::size_t i) const noexcept {
+    return i < cnt_.size() ? cnt_[i] : 0;
+  }
+
+  std::span<T> node_span(std::size_t i) noexcept {
+    const std::size_t n = node_count(i);
+    return n == 0 ? std::span<T>{} : std::span<T>{arena_.data() + i * r_, n};
+  }
+
+  void ensure_nodes(std::size_t m) {
+    if (cnt_.size() < m) {
+      cnt_.resize(m, 0);
+      arena_.resize(m * r_);
+    }
+  }
+
+  static std::size_t level_of(std::size_t i) noexcept {
+    return static_cast<std::size_t>(std::bit_width(i + 1)) - 1;
+  }
+
+  /// Smallest item among node i's children (nullptr if i has none).
+  const T* grandchild_min(std::size_t i) const noexcept {
+    const T* best = nullptr;
+    for (std::size_t c = 2 * i + 1; c <= 2 * i + 2; ++c) {
+      if (node_count(c) == 0) continue;
+      const T* m = arena_.data() + c * r_;
+      if (best == nullptr || cmp_(*m, *best)) best = m;
+    }
+    return best;
+  }
+
+  void park(ProcT&& p) {
+    const std::size_t lvl = level_of(p.node);
+    if (procs_.size() <= lvl) procs_.resize(lvl + 1);
+    procs_[lvl].push_back(std::move(p));
+    ++inflight_;
+    ++pstats_.procs_spawned;
+    pstats_.max_inflight = std::max<std::uint64_t>(pstats_.max_inflight, inflight_);
+  }
+
+  /// Sorts the collected batch into per-node groups and runs them through
+  /// the runner; merges spawned processes and stats afterwards.
+  template <typename Runner>
+  void run_batch(Runner&& runner) {
+    // Node order; within a node delete-updates precede insert-updates, and
+    // insert-updates run in spawn order — the deterministic composition for
+    // same-generation processes sharing a path prefix.
+    std::stable_sort(batch_.begin(), batch_.end(), [](const ProcT& a, const ProcT& b) {
+      if (a.node != b.node) return a.node < b.node;
+      if (a.kind != b.kind) return a.kind == Kind::kDelete;
+      return a.id < b.id;
+    });
+    groups_.clear();
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      if (i == 0 || batch_[i].node != batch_[i - 1].node) groups_.push_back(i);
+    }
+    groups_.push_back(batch_.size());
+    const std::size_t ngroups = groups_.size() - 1;
+    pstats_.task_groups += ngroups;
+    pstats_.max_groups = std::max<std::uint64_t>(pstats_.max_groups, ngroups);
+    pstats_.procs_serviced += batch_.size();
+
+    std::function<void(std::size_t, ServiceCtx&)> fn = [this](std::size_t g,
+                                                              ServiceCtx& ctx) {
+      for (std::size_t i = groups_[g]; i < groups_[g + 1]; ++i) {
+        ProcT& p = batch_[i];
+        if (p.kind == Kind::kDelete) {
+          service_delete(p.node, ctx);
+        } else {
+          service_insert(std::move(p), ctx);
+        }
+      }
+    };
+    runner(ngroups, fn);
+
+    // Serial merge of per-worker results. The default serial runner uses
+    // ctx_, parallel runners use their own contexts; merge both.
+    merge_ctx(ctx_);
+  }
+
+ public:
+  /// Merges a worker context's spawned processes and stat deltas back into
+  /// the heap (must be called serially, once per context, after a parallel
+  /// advance_with half-step; the serial paths call it automatically).
+  void merge_ctx(ServiceCtx& ctx) {
+    for (auto& p : ctx.spawned_) park(std::move(p));
+    ctx.spawned_.clear();
+    stats_.delete_procs += ctx.stats_.delete_procs;
+    stats_.insert_procs += ctx.stats_.insert_procs;
+    stats_.nodes_touched += ctx.stats_.nodes_touched;
+    stats_.items_merged += ctx.stats_.items_merged;
+    stats_.proc_splits += ctx.stats_.proc_splits;
+    ctx.stats_ = HeapStats{};
+  }
+
+ private:
+  /// One node-local delete-update: repairs `v` against its children, pushes
+  /// displaced dirty items down, spawns continuations at the children that
+  /// received dirty items.
+  void service_delete(std::size_t v, ServiceCtx& c) {
+    const std::size_t l = 2 * v + 1;
+    const std::size_t rc = 2 * v + 2;
+    const std::size_t nl = node_count(l);
+    const std::size_t nr = node_count(rc);
+    const std::size_t nv = node_count(v);
+    if (nv == 0 || (nl == 0 && nr == 0)) return;
+    auto sv = node_span(v);
+    auto sl = node_span(l);
+    auto sr = node_span(rc);
+    ++c.stats_.delete_procs;
+    const bool viol_l = nl > 0 && cmp_(sl.front(), sv.back());
+    const bool viol_r = nr > 0 && cmp_(sr.front(), sv.back());
+    if (!viol_l && !viol_r) return;
+
+    // Node-local repair (node_fix.hpp). Unlike the synchronous heap, a
+    // child that received fills is *always* re-serviced next half-step —
+    // the violation check against currently-stored grandchildren can be
+    // stale with respect to in-flight processes below, and the deferred
+    // re-service (which early-outs in O(1) when clean) is what makes the
+    // pipeline sound.
+    const FixOutcome<T> out =
+        fix_node(sv, sl, sr, grandchild_min(l), grandchild_min(rc), c.fix_, cmp_);
+    if (out.taken_l > 0) c.spawned_.push_back(ProcT{Kind::kDelete, l, 0, 0, {}});
+    if (out.taken_r > 0) c.spawned_.push_back(ProcT{Kind::kDelete, rc, 0, 0, {}});
+    if (out.taken_l > 0 && out.taken_r > 0) ++c.stats_.proc_splits;
+    ++c.stats_.nodes_touched;
+    c.stats_.items_merged += out.items_moved;
+  }
+
+  /// One node-local insert-update step: merge the carried set at p.node,
+  /// keep the node's r smallest, carry the rest toward p.target; deliver on
+  /// arrival.
+  void service_insert(ProcT&& p, ServiceCtx& c) {
+    ++c.stats_.insert_procs;
+    if (p.carried.empty()) return;  // fully stolen while in flight
+    const std::size_t v = p.node;
+    if (v == p.target) {  // deliver
+      const std::size_t have = node_count(v);
+      PH_ASSERT(have + p.carried.size() <= r_);
+      c.tmp_.clear();
+      merge2(std::span<const T>(arena_.data() + v * r_, have),
+             std::span<const T>(p.carried), c.tmp_, cmp_);
+      std::copy(c.tmp_.begin(), c.tmp_.end(),
+                arena_.begin() + static_cast<std::ptrdiff_t>(v * r_));
+      cnt_[v] = have + p.carried.size();
+      ++c.stats_.nodes_touched;
+      c.stats_.items_merged += c.tmp_.size();
+      return;
+    }
+    // Interior path node: full by construction.
+    auto sv = node_span(v);
+    PH_ASSERT(sv.size() == r_);
+    if (cmp_(p.carried.front(), sv.back())) {
+      c.kept_.clear();
+      c.rest_.clear();
+      merge2_split(std::span<const T>(sv.data(), sv.size()),
+                   std::span<const T>(p.carried), r_, c.kept_, c.rest_, cmp_);
+      std::copy(c.kept_.begin(), c.kept_.end(), sv.begin());
+      p.carried.swap(c.rest_);
+      ++c.stats_.nodes_touched;
+      c.stats_.items_merged += r_ + p.carried.size();
+    }
+    // Move one level down along the ancestor path of the target.
+    p.node = child_toward(v, p.target);
+    c.spawned_.push_back(std::move(p));
+  }
+
+  /// The child of `v` on the path from `v` to descendant `t` (1-based index
+  /// arithmetic: ancestors of t are prefixes of t's binary representation).
+  static std::size_t child_toward(std::size_t v, std::size_t t) noexcept {
+    const std::size_t v1 = v + 1;
+    std::size_t t1 = t + 1;
+    const auto dv = static_cast<std::size_t>(std::bit_width(v1));
+    const auto dt = static_cast<std::size_t>(std::bit_width(t1));
+    PH_ASSERT(dt > dv);
+    return (t1 >> (dt - dv - 1)) - 1;
+  }
+
+  /// The root-level work of one cycle (paper step 3).
+  std::size_t root_work(std::span<const T> new_items, std::size_t k,
+                        std::vector<T>& out) {
+    new_buf_.assign(new_items.begin(), new_items.end());
+    std::sort(new_buf_.begin(), new_buf_.end(), cmp_);
+
+    if (size_ == 0) {
+      const std::size_t take = std::min(k, new_buf_.size());
+      out.insert(out.end(), new_buf_.begin(),
+                 new_buf_.begin() + static_cast<std::ptrdiff_t>(take));
+      stats_.items_deleted += take;
+      if (take < new_buf_.size()) {
+        spawn_inserts(std::span<const T>(new_buf_).subspan(take));
+      }
+      return take;
+    }
+
+    const std::size_t root_cnt = node_count(0);
+    const std::size_t below = size_ - root_cnt;
+    merged_.clear();
+    merge2(std::span<const T>(arena_.data(), root_cnt), std::span<const T>(new_buf_),
+           merged_, cmp_);
+    const std::size_t take = std::min(k, merged_.size());
+    PH_ASSERT(take == k || below == 0);
+    out.insert(out.end(), merged_.begin(),
+               merged_.begin() + static_cast<std::ptrdiff_t>(take));
+    stats_.items_deleted += take;
+
+    const std::size_t rest = merged_.size() - take;
+    const std::size_t new_total = size_ + new_buf_.size() - take;
+    const std::size_t new_root_cnt = std::min(r_, new_total);
+    auto rest_span = std::span<const T>(merged_).subspan(take);
+
+    if (rest >= new_root_cnt) {
+      ensure_nodes(1);
+      std::copy(rest_span.begin(),
+                rest_span.begin() + static_cast<std::ptrdiff_t>(new_root_cnt),
+                arena_.begin());
+      cnt_[0] = new_root_cnt;
+      size_ = below + new_root_cnt;
+      if (rest > new_root_cnt) {
+        spawn_inserts(rest_span.subspan(new_root_cnt));
+      }
+    } else {
+      const std::size_t need = new_root_cnt - rest;
+      PH_ASSERT(need <= below);
+      subs_.clear();
+      take_tail(need, subs_);
+      stats_.substitutes += need;
+      tmp_.clear();
+      merge2(rest_span, std::span<const T>(subs_), tmp_, cmp_);
+      ensure_nodes(1);
+      std::copy(tmp_.begin(), tmp_.end(), arena_.begin());
+      // take_tail already deducted `need`; swapping the old root for the new
+      // one nets the rest of the accounting (old root out, rest+subs in).
+      size_ = size_ - root_cnt + new_root_cnt;
+      cnt_[0] = new_root_cnt;
+    }
+    if (size_ > node_count(0)) {
+      park(ProcT{Kind::kDelete, 0, 0, next_id_++, {}});
+    }
+    return take;
+  }
+
+  /// Splits the sorted run into tail-aligned chunks (largest items first)
+  /// and spawns one insert-update per chunk at the root level; chunks whose
+  /// destination is the root itself are merged in place.
+  void spawn_inserts(std::span<const T> sorted) {
+    std::size_t remaining = sorted.size();
+    while (remaining > 0) {
+      const std::size_t used = size_ % r_;
+      const std::size_t free_slots = used == 0 ? r_ : r_ - used;
+      const std::size_t chunk = std::min(free_slots, remaining);
+      const std::size_t target = size_ / r_;
+      auto items = sorted.subspan(remaining - chunk, chunk);
+      ensure_nodes(target + 1);
+      if (target == 0) {
+        // Root is the tail: place directly.
+        tmp_.clear();
+        merge2(std::span<const T>(arena_.data(), cnt_[0]), items, tmp_, cmp_);
+        std::copy(tmp_.begin(), tmp_.end(), arena_.begin());
+        cnt_[0] += chunk;
+      } else {
+        park(ProcT{Kind::kInsert, 0, target, next_id_++,
+                   std::vector<T>(items.begin(), items.end())});
+      }
+      size_ += chunk;
+      remaining -= chunk;
+    }
+  }
+
+  /// Removes the last `q` committed items and appends them, sorted, to
+  /// `out`. Items still in flight toward the tail are stolen from their
+  /// carried sets; materialized items come off stored suffixes. Decrements
+  /// size_.
+  void take_tail(std::size_t q, std::vector<T>& out) {
+    pieces_.clear();
+    while (q > 0) {
+      PH_ASSERT(size_ > node_count(0));
+      const std::size_t lt = (size_ - 1) / r_;
+      // Prefer the youngest in-flight delivery to this node: it owns the
+      // hindmost committed slots.
+      ProcT* victim = nullptr;
+      for (auto& lvl : procs_) {
+        for (auto& p : lvl) {
+          if (p.kind != Kind::kInsert || p.target != lt || p.carried.empty()) continue;
+          if (victim == nullptr || p.id > victim->id) victim = &p;
+        }
+      }
+      std::size_t s;
+      if (victim != nullptr) {
+        s = std::min(q, victim->carried.size());
+        pieces_.emplace_back(victim->carried.end() - static_cast<std::ptrdiff_t>(s),
+                             victim->carried.end());
+        victim->carried.resize(victim->carried.size() - s);
+        pstats_.steals += s;
+        // An emptied process stays parked and retires as a no-op.
+      } else {
+        // No in-flight delivery owns slots here, so the tail node's
+        // occupancy is fully materialized.
+        const std::size_t stored = node_count(lt);
+        s = std::min(q, stored);
+        PH_ASSERT(s > 0);
+        auto sp = node_span(lt);
+        pieces_.emplace_back(sp.end() - static_cast<std::ptrdiff_t>(s), sp.end());
+        cnt_[lt] = stored - s;
+      }
+      size_ -= s;
+      q -= s;
+    }
+    // Each piece is sorted; merge them all.
+    runs_.clear();
+    for (const auto& piece : pieces_) runs_.emplace_back(piece.data(), piece.size());
+    merge_k(std::span<const std::span<const T>>(runs_), out, cmp_);
+  }
+
+  std::size_t r_;
+  Compare cmp_;
+  std::vector<T> arena_;
+  std::vector<std::size_t> cnt_;
+  std::size_t size_ = 0;
+  std::size_t inflight_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::vector<std::vector<ProcT>> procs_;
+
+  HeapStats stats_;
+  PipelineStats pstats_;
+  ServiceCtx ctx_;  // context for the serial service paths
+
+  // Scratch (reused; the hot path is allocation-free after warm-up).
+  std::vector<T> new_buf_, merged_, subs_, tmp_;
+  std::vector<ProcT> batch_;
+  std::vector<std::size_t> groups_;
+  std::vector<std::vector<T>> pieces_;
+  std::vector<std::span<const T>> runs_;
+};
+
+}  // namespace ph

@@ -1,0 +1,140 @@
+// Sorted-run kernels.
+//
+// Every maintenance step of a parallel heap is a merge of small sorted runs:
+// insert-update merges the carried set with a node; delete-update selects the
+// smallest |v| items of v ∪ left ∪ right and redistributes the leftovers.
+// These kernels are the entire inner loop of the data structure, so they are
+// kept free of allocation (callers supply output storage) and of virtual
+// dispatch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+/// True iff `s` is sorted ascending under `cmp` (i.e. no cmp(s[i+1], s[i])).
+template <typename T, typename Compare>
+bool is_sorted_run(std::span<const T> s, Compare cmp) {
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (cmp(s[i], s[i - 1])) return false;
+  }
+  return true;
+}
+
+/// Stable two-way merge of sorted runs `a` and `b`, appended to `out`.
+/// Ties keep `a`'s elements first.
+template <typename T, typename Compare>
+void merge2(std::span<const T> a, std::span<const T> b, std::vector<T>& out,
+            Compare cmp) {
+  std::size_t i = 0, j = 0;
+  out.reserve(out.size() + a.size() + b.size());
+  while (i < a.size() && j < b.size()) {
+    if (cmp(b[j], a[i])) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+}
+
+/// Result of a three-way smallest-k selection: how many items were taken
+/// from the prefix of each input run (taken[0] + taken[1] + taken[2] == k).
+using Take3 = std::array<std::size_t, 3>;
+
+/// Selects the `k` smallest items of the union of three sorted runs,
+/// appending them in sorted order to `out`. Returns the per-run prefix
+/// lengths consumed. Ties are resolved in run order (a, then b, then c),
+/// which makes the operation deterministic.
+template <typename T, typename Compare>
+Take3 select_smallest3(std::span<const T> a, std::span<const T> b,
+                       std::span<const T> c, std::size_t k, std::vector<T>& out,
+                       Compare cmp) {
+  PH_ASSERT(k <= a.size() + b.size() + c.size());
+  Take3 taken{0, 0, 0};
+  out.reserve(out.size() + k);
+  for (std::size_t n = 0; n < k; ++n) {
+    // Pick the smallest current head among the three runs.
+    int best = -1;
+    for (int run = 0; run < 3; ++run) {
+      const std::span<const T>& s = run == 0 ? a : (run == 1 ? b : c);
+      if (taken[static_cast<std::size_t>(run)] >= s.size()) continue;
+      if (best < 0) {
+        best = run;
+        continue;
+      }
+      const std::span<const T>& bs = best == 0 ? a : (best == 1 ? b : c);
+      if (cmp(s[taken[static_cast<std::size_t>(run)]],
+              bs[taken[static_cast<std::size_t>(best)]])) {
+        best = run;
+      }
+    }
+    PH_ASSERT(best >= 0);
+    const std::span<const T>& s = best == 0 ? a : (best == 1 ? b : c);
+    out.push_back(s[taken[static_cast<std::size_t>(best)]]);
+    ++taken[static_cast<std::size_t>(best)];
+  }
+  return taken;
+}
+
+/// Merge `a` and `b`, writing the `keep` smallest into `kept` and the rest
+/// into `rest` (both appended; both outputs sorted). This is the node-local
+/// step of insert-update: the node keeps its `r` smallest, the remainder is
+/// carried down.
+template <typename T, typename Compare>
+void merge2_split(std::span<const T> a, std::span<const T> b, std::size_t keep,
+                  std::vector<T>& kept, std::vector<T>& rest, Compare cmp) {
+  PH_ASSERT(keep <= a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  auto emit = [&](const T& v, std::size_t n) {
+    if (n < keep) {
+      kept.push_back(v);
+    } else {
+      rest.push_back(v);
+    }
+  };
+  std::size_t n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (cmp(b[j], a[i])) {
+      emit(b[j++], n++);
+    } else {
+      emit(a[i++], n++);
+    }
+  }
+  while (i < a.size()) emit(a[i++], n++);
+  while (j < b.size()) emit(b[j++], n++);
+}
+
+/// K-way merge of sorted runs into `out` (appended). Used by the workload
+/// generators and the multi-way-merge example; runs a simple tournament over
+/// the run heads, which is optimal for the small fan-ins used here.
+template <typename T, typename Compare>
+void merge_k(std::span<const std::span<const T>> runs, std::vector<T>& out,
+             Compare cmp) {
+  std::vector<std::size_t> pos(runs.size(), 0);
+  std::size_t remaining = 0;
+  for (const auto& r : runs) remaining += r.size();
+  out.reserve(out.size() + remaining);
+  while (remaining-- > 0) {
+    int best = -1;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] >= runs[r].size()) continue;
+      if (best < 0 || cmp(runs[r][pos[r]],
+                          runs[static_cast<std::size_t>(best)]
+                              [pos[static_cast<std::size_t>(best)]])) {
+        best = static_cast<int>(r);
+      }
+    }
+    PH_ASSERT(best >= 0);
+    out.push_back(
+        runs[static_cast<std::size_t>(best)][pos[static_cast<std::size_t>(best)]++]);
+  }
+}
+
+}  // namespace ph

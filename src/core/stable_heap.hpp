@@ -1,0 +1,137 @@
+// StableParallelHeap — the payload-indirection variant the lineage built for
+// its simulators: heap nodes hold {key, pointer} entries while the payloads
+// live at *stable addresses*, so application objects (messages that must
+// point at their children, B&B nodes referenced by other structures) never
+// move when the heap reorganizes. The entry additionally carries the key by
+// value, exactly as the lineage's refinement did, so heap maintenance never
+// chases the pointer to compare ("it doesn't need the indirect memory access
+// to get the time field in updating the Parallel Heap").
+//
+// Payloads are owned by an internal slab pool: allocation never relocates
+// existing payloads (chunked storage), and freed slots are recycled through
+// a free list. The heap itself is the pipelined parallel heap over entries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pipelined_heap.hpp"
+#include "util/assert.hpp"
+
+namespace ph {
+
+/// Chunked object pool with stable addresses and O(1) allocate/release.
+template <typename Payload>
+class SlabPool {
+ public:
+  explicit SlabPool(std::size_t chunk_capacity = 1024)
+      : chunk_capacity_(chunk_capacity) {
+    PH_ASSERT(chunk_capacity_ >= 1);
+  }
+
+  template <typename... Args>
+  Payload* allocate(Args&&... args) {
+    if (free_.empty()) grow();
+    Payload* slot = free_.back();
+    free_.pop_back();
+    ++live_;
+    return new (slot) Payload(std::forward<Args>(args)...);
+  }
+
+  void release(Payload* p) noexcept {
+    PH_ASSERT(p != nullptr);
+    p->~Payload();
+    free_.push_back(p);
+    PH_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  std::size_t live() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return chunks_.size() * chunk_capacity_; }
+
+ private:
+  // Raw storage: payloads are constructed/destroyed manually so the pool
+  // can hold non-default-constructible types.
+  using Slab = std::unique_ptr<std::byte[]>;
+
+  void grow() {
+    chunks_.push_back(
+        std::make_unique<std::byte[]>(chunk_capacity_ * sizeof(Payload)));
+    auto* base = reinterpret_cast<Payload*>(chunks_.back().get());
+    // Push in reverse so allocation order walks the chunk forward.
+    for (std::size_t i = chunk_capacity_; i-- > 0;) free_.push_back(base + i);
+  }
+
+  std::size_t chunk_capacity_;
+  std::vector<Slab> chunks_;
+  std::vector<Payload*> free_;
+  std::size_t live_ = 0;
+};
+
+template <typename Key, typename Payload, typename Compare = std::less<Key>>
+class StableParallelHeap {
+ public:
+  /// What the heap stores and hands back: the ordering key (by value, so
+  /// maintenance never dereferences) plus the stable payload address.
+  struct Entry {
+    Key key{};
+    Payload* payload = nullptr;
+  };
+
+  struct EntryCompare {
+    Compare cmp;
+    bool operator()(const Entry& a, const Entry& b) const { return cmp(a.key, b.key); }
+  };
+
+  explicit StableParallelHeap(std::size_t node_capacity, Compare cmp = Compare(),
+                              std::size_t pool_chunk = 1024)
+      : heap_(node_capacity, EntryCompare{std::move(cmp)}), pool_(pool_chunk) {}
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t node_capacity() const noexcept { return heap_.node_capacity(); }
+
+  /// Allocates a payload at a stable address and inserts it with `key`.
+  /// The returned pointer stays valid until the caller release()s it —
+  /// including across any amount of heap reorganization, and even after the
+  /// entry has been deleted from the heap (the lineage keeps processed
+  /// messages alive so parents can cancel children).
+  template <typename... Args>
+  Payload* emplace(const Key& key, Args&&... args) {
+    Payload* p = pool_.allocate(std::forward<Args>(args)...);
+    const Entry e{key, p};
+    heap_.insert_batch(std::span<const Entry>(&e, 1));
+    return p;
+  }
+
+  /// Re-inserts an existing (still-allocated) payload under a new key.
+  void reinsert(const Key& key, Payload* p) {
+    const Entry e{key, p};
+    heap_.insert_batch(std::span<const Entry>(&e, 1));
+  }
+
+  /// Batch cycle: removes the k smallest entries (appended to out) and
+  /// re-inserts `fresh` entries (whose payloads must come from this heap's
+  /// emplace/release discipline, or be null).
+  std::size_t cycle(std::span<const Entry> fresh, std::size_t k,
+                    std::vector<Entry>& out) {
+    return heap_.step(fresh, k, out);
+  }
+
+  /// Returns a deleted payload's storage to the pool. Only call once per
+  /// payload, after its entry left the heap.
+  void release(Payload* p) { pool_.release(p); }
+
+  std::size_t pool_live() const noexcept { return pool_.live(); }
+
+  /// Underlying heap access for stats/invariant checking.
+  PipelinedParallelHeap<Entry, EntryCompare>& heap() noexcept { return heap_; }
+
+ private:
+  PipelinedParallelHeap<Entry, EntryCompare> heap_;
+  SlabPool<Payload> pool_;
+};
+
+}  // namespace ph

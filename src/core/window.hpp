@@ -1,0 +1,90 @@
+// LookaheadWindow — the reusable safe-batch pattern on top of any global
+// queue with cycle(new_items, k, out) and sorted batch output.
+//
+// Three of this library's applications (conservative DES, batch Dijkstra,
+// streaming multiway merge) independently use the same loop: delete the k
+// earliest items, *commit* only those provably final — i.e. within a
+// workload-specific lookahead of the batch minimum — and defer the rest back
+// into the queue together with newly produced items. This class factors
+// that loop. The safety argument is the applications': if every item
+// produced while processing a committed item is at least `lookahead` beyond
+// that item's key, then every deleted item below batch_min + lookahead is
+// final.
+//
+// Process(fn) is called once per committed item and may append new items to
+// the queue via the supplied emit callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph {
+
+struct WindowStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t deferred = 0;
+};
+
+/// KeyFn: T -> double (or any type with operator< and operator+ against the
+/// lookahead). Queue: cycle(span, k, vector&) with ascending output.
+template <typename T, typename Queue, typename KeyFn>
+class LookaheadWindow {
+ public:
+  LookaheadWindow(Queue& queue, double lookahead, KeyFn key = KeyFn())
+      : queue_(queue), lookahead_(lookahead), key_(std::move(key)) {
+    PH_ASSERT(lookahead > 0);
+  }
+
+  /// Runs batches of `k` until the queue is exhausted or `process` calls
+  /// stop(). process(item, emit): handle one committed item, optionally
+  /// emitting follow-on items (inserted next cycle).
+  template <typename ProcessFn>
+  WindowStats run(std::size_t k, ProcessFn&& process) {
+    WindowStats stats;
+    stop_ = false;
+    std::vector<T> batch;
+    auto emit = [this](const T& item) { fresh_.push_back(item); };
+    for (;;) {
+      batch.clear();
+      queue_.cycle(fresh_, k, batch);
+      fresh_.clear();
+      if (batch.empty()) break;
+      ++stats.cycles;
+      const double window = key_(batch.front()) + lookahead_;
+      for (const T& item : batch) {
+        if (key_(item) < window) {
+          ++stats.committed;
+          process(item, emit);
+        } else {
+          ++stats.deferred;
+          fresh_.push_back(item);
+        }
+      }
+      if (stop_) break;
+    }
+    // Anything still pending (deferred after a stop) goes back to the queue.
+    if (!fresh_.empty()) {
+      std::vector<T> sink;
+      queue_.cycle(fresh_, 0, sink);
+      fresh_.clear();
+    }
+    return stats;
+  }
+
+  /// Callable from inside process(): finish the current batch, then return.
+  void stop() noexcept { stop_ = true; }
+
+ private:
+  Queue& queue_;
+  double lookahead_;
+  KeyFn key_;
+  std::vector<T> fresh_;
+  bool stop_ = false;
+};
+
+}  // namespace ph

@@ -1,0 +1,48 @@
+// Event type for the discrete-event-simulation substrate.
+//
+// Determinism design: handlers derive everything (service scaling, output
+// channel, the child's identity) from the event's own `tag` via hash mixing,
+// never from shared mutable RNG state. Handling is therefore
+// order-independent: any schedule that processes the same multiset of events
+// produces the same statistics, which is what lets the parallel simulators
+// be differential-tested bit-exactly against the serial reference.
+#pragma once
+
+#include <cstdint>
+
+namespace ph::sim {
+
+struct Event {
+  double ts = 0;         ///< timestamp
+  std::uint32_t lp = 0;  ///< destination logical process
+  std::uint32_t hop = 0; ///< chain depth since the seeding event
+  std::uint64_t tag = 0; ///< lineage id; drives all per-event randomness
+};
+
+/// Total order: timestamp, then tag (unique), making every queue's
+/// tie-handling deterministic.
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.tag < b.tag;
+  }
+};
+
+/// 64-bit mix (splitmix64 finalizer) used for all per-event derivations.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Order-insensitive fingerprint contribution of a processed event; the sum
+/// of these over any processing schedule of the same event multiset is
+/// identical, so serial and parallel runs can be compared exactly.
+inline std::uint64_t event_fingerprint(const Event& e) {
+  std::uint64_t h = mix64(e.tag ^ (static_cast<std::uint64_t>(e.lp) << 32));
+  h ^= static_cast<std::uint64_t>(e.ts * 1048576.0);
+  return mix64(h);
+}
+
+}  // namespace ph::sim

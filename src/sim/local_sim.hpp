@@ -1,0 +1,127 @@
+// "simlocal" — the lineage's per-processor event queue configuration: each
+// worker pops from its own lock-guarded local heap and pushes produced
+// events either to the destination LP's home partition (affinity mode) or to
+// an arbitrary partition (distributed mode, the lineage's localdist).
+//
+// There is no global window, so events are handled out of global timestamp
+// order; the model's order-independent handlers keep the *results* exact
+// (same fingerprint as the serial reference), and the causality damage is
+// measured instead: a `violation` is recorded whenever an LP handles an
+// event older than its local clock — precisely the situation that forces a
+// rollback in an optimistic simulator. This is the metric behind the
+// lineage's rollback-count comparisons, reproduced conservatively.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/local_heaps.hpp"
+#include "sim/event.hpp"
+#include "sim/model.hpp"
+#include "util/cacheline.hpp"
+#include "util/timer.hpp"
+#include "workloads/grain.hpp"
+
+namespace ph::sim {
+
+enum class LocalSimMode {
+  kAffinity,     ///< events routed to their LP's home partition
+  kDistributed,  ///< events routed round-robin (load-balanced, more disorder)
+};
+
+struct LocalSimConfig {
+  unsigned threads = 1;
+  LocalSimMode mode = LocalSimMode::kAffinity;
+};
+
+inline SimResult run_local_sim(const Model& model, double end_time,
+                               const LocalSimConfig& cfg) {
+  const unsigned P = cfg.threads;
+  LocalHeaps<Event, EventOrder> queues(P);
+  // LP local clocks, written with a CAS max so that distributed mode (where
+  // one LP's events can be handled by any worker) stays race-free.
+  std::vector<std::atomic<double>> clocks(model.num_lps());
+  for (auto& c : clocks) c.store(0.0, std::memory_order_relaxed);
+
+  for (const Event& e : model.initial_events()) {
+    if (e.ts < end_time) queues.push(e, e.lp % P);
+  }
+
+  struct LaneStats {
+    std::uint64_t processed = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t sink = 0;
+    std::uint64_t rr = 0;  // round-robin cursor for distributed routing
+    double max_clock = 0;
+  };
+  std::vector<Padded<LaneStats>> lanes(P);
+
+  Timer wall;
+  // Termination: workers run until every queue is empty. Because a worker
+  // can race another's push, emptiness is confirmed with a global
+  // in-progress counter: only when no worker holds an event and all queues
+  // are empty can everyone stop.
+  std::atomic<std::uint32_t> active{P};
+  auto worker = [&](unsigned tid) {
+    LaneStats& ls = *lanes[tid];
+    Event e;
+    bool counted_active = true;
+    for (;;) {
+      if (queues.try_pop(tid, e)) {
+        if (!counted_active) {
+          active.fetch_add(1, std::memory_order_acq_rel);
+          counted_active = true;
+        }
+        double seen = clocks[e.lp].load(std::memory_order_relaxed);
+        if (e.ts < seen) {
+          ++ls.violations;  // an optimistic simulator would roll back here
+        } else {
+          while (seen < e.ts && !clocks[e.lp].compare_exchange_weak(
+                                    seen, e.ts, std::memory_order_relaxed)) {
+          }
+        }
+        ++ls.processed;
+        ls.fingerprint += event_fingerprint(e);
+        if (e.ts > ls.max_clock) ls.max_clock = e.ts;
+        if (model.config().grain != 0) {
+          ls.sink ^= spin_work(model.config().grain, e.tag);
+        }
+        const Event child = model.handle(e);
+        if (child.ts < end_time) {
+          const std::size_t dst = cfg.mode == LocalSimMode::kAffinity
+                                      ? child.lp % P
+                                      : (tid + ls.rr++) % P;
+          queues.push(child, dst);
+        }
+      } else {
+        if (counted_active) {
+          active.fetch_sub(1, std::memory_order_acq_rel);
+          counted_active = false;
+        }
+        if (active.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (unsigned t = 0; t < P; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  SimResult res;
+  res.seconds = wall.seconds();
+  for (const auto& ls : lanes) {
+    res.processed += ls->processed;
+    res.fingerprint += ls->fingerprint;
+    res.violations += ls->violations;
+    res.sink ^= ls->sink;
+    if (ls->max_clock > res.max_clock) res.max_clock = ls->max_clock;
+  }
+  return res;
+}
+
+}  // namespace ph::sim

@@ -1,0 +1,84 @@
+#include "sim/network.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ph::sim {
+
+Topology make_torus(std::size_t rows, std::size_t cols) {
+  PH_ASSERT(rows >= 1 && cols >= 1);
+  Topology t;
+  t.num_lps = rows * cols;
+  t.out_degree = 2;
+  t.out_edges.resize(t.num_lps * 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t lp = r * cols + c;
+      t.out_edges[lp * 2 + 0] = static_cast<std::uint32_t>(r * cols + (c + 1) % cols);
+      t.out_edges[lp * 2 + 1] = static_cast<std::uint32_t>(((r + 1) % rows) * cols + c);
+    }
+  }
+  return t;
+}
+
+Topology make_random_network(std::size_t n, std::size_t degree, std::uint64_t seed) {
+  PH_ASSERT(n >= 1 && degree >= 1);
+  Topology t;
+  t.num_lps = n;
+  t.out_degree = degree;
+  t.out_edges.resize(n * degree);
+  Xoshiro256 rng(seed);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      std::uint32_t dst;
+      do {
+        dst = static_cast<std::uint32_t>(rng.next_below(n));
+      } while (n > 1 && dst == lp);
+      t.out_edges[lp * degree + d] = dst;
+    }
+  }
+  return t;
+}
+
+Topology make_ring(std::size_t n) {
+  PH_ASSERT(n >= 1);
+  Topology t;
+  t.num_lps = n;
+  t.out_degree = 1;
+  t.out_edges.resize(n);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    t.out_edges[lp] = static_cast<std::uint32_t>((lp + 1) % n);
+  }
+  return t;
+}
+
+Topology make_hypercube(std::size_t dim) {
+  PH_ASSERT(dim >= 1 && dim <= 24);
+  Topology t;
+  t.num_lps = std::size_t{1} << dim;
+  t.out_degree = dim;
+  t.out_edges.resize(t.num_lps * dim);
+  for (std::size_t lp = 0; lp < t.num_lps; ++lp) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      t.out_edges[lp * dim + k] = static_cast<std::uint32_t>(lp ^ (std::size_t{1} << k));
+    }
+  }
+  return t;
+}
+
+Topology make_kary_tree(std::size_t n, std::size_t k) {
+  PH_ASSERT(n >= 1 && k >= 1);
+  Topology t;
+  t.num_lps = n;
+  t.out_degree = k;
+  t.out_edges.resize(n * k);
+  for (std::size_t lp = 0; lp < n; ++lp) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t child = k * lp + 1 + c;
+      t.out_edges[lp * k + c] = static_cast<std::uint32_t>(child < n ? child : child % n);
+    }
+  }
+  return t;
+}
+
+}  // namespace ph::sim

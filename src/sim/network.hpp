@@ -1,0 +1,49 @@
+// Logical-process network topologies for the discrete-event-simulation
+// substrate. The lineage evaluates on (a) 2-D torus networks, where each LP
+// sends to its right and top neighbours, and (b) static random networks,
+// where each LP's output channels are chosen uniformly at random. Both are
+// generated here as flat adjacency tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ph::sim {
+
+/// A fixed-out-degree directed network of logical processes.
+struct Topology {
+  std::size_t num_lps = 0;
+  std::size_t out_degree = 0;
+  /// Flattened adjacency: destinations of lp i are
+  /// out_edges[i*out_degree .. (i+1)*out_degree).
+  std::vector<std::uint32_t> out_edges;
+
+  std::span<const std::uint32_t> out(std::size_t lp) const {
+    return {out_edges.data() + lp * out_degree, out_degree};
+  }
+};
+
+/// rows×cols torus; LP (r, c) sends to its right neighbour (r, c+1) and its
+/// top neighbour (r+1, c), wrapping at the edges (out-degree 2, in-degree 2).
+Topology make_torus(std::size_t rows, std::size_t cols);
+
+/// n LPs, each with `degree` output channels drawn uniformly at random
+/// (self-loops excluded when n > 1). Deterministic in `seed`.
+Topology make_random_network(std::size_t n, std::size_t degree, std::uint64_t seed);
+
+/// Unidirectional ring of n LPs (out-degree 1): the minimal-lookahead chain
+/// that makes conservative windows narrow — the hardest regular case.
+Topology make_ring(std::size_t n);
+
+/// Boolean hypercube on n = 2^dim LPs; LP i sends to i ⊕ 2^k for every
+/// dimension k (out-degree dim) — the interconnect of the machines the
+/// original papers targeted.
+Topology make_hypercube(std::size_t dim);
+
+/// Complete k-ary tree over n LPs; each LP sends to its k children (indices
+/// k·i+1 … k·i+k), wrapping to the root family when a child index falls off
+/// the end, so every LP keeps out-degree k.
+Topology make_kary_tree(std::size_t n, std::size_t k);
+
+}  // namespace ph::sim

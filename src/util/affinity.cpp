@@ -1,0 +1,28 @@
+#include "util/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ph {
+
+unsigned hardware_cpus() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+bool pin_this_thread([[maybe_unused]] unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % hardware_cpus(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ph

@@ -1,0 +1,18 @@
+// Best-effort thread pinning.
+//
+// The paper's measurements depend on threads staying put on their CPUs (the
+// Origin-2000 was NUMA); on Linux we pin with pthread_setaffinity_np. All
+// calls are best-effort: on machines with fewer CPUs than threads (including
+// this 1-core container) pinning simply maps threads round-robin onto the
+// available CPUs.
+#pragma once
+
+namespace ph {
+
+/// Pin the calling thread to `cpu % hardware_cpus`. Returns true on success.
+bool pin_this_thread(unsigned cpu) noexcept;
+
+/// Number of CPUs available to this process.
+unsigned hardware_cpus() noexcept;
+
+}  // namespace ph

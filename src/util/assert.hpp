@@ -1,0 +1,40 @@
+// Lightweight assertion macros.
+//
+// PH_ASSERT is compiled in every build type: data-structure invariants in
+// this library are cheap relative to the O(r) merge work they guard, and a
+// silent heap-order violation is far more expensive to debug than the check.
+// PH_DEBUG_ASSERT compiles away outside debug builds and is used for the
+// heavyweight checks (full-tree invariant scans).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ph {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ph: assertion failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ph
+
+#define PH_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::ph::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PH_ASSERT_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::ph::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define PH_DEBUG_ASSERT(expr) PH_ASSERT(expr)
+#else
+#define PH_DEBUG_ASSERT(expr) \
+  do {                        \
+  } while (0)
+#endif

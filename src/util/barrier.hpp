@@ -1,0 +1,61 @@
+// Sense-reversing centralized barrier.
+//
+// The pipelined parallel heap advances in strict level-synchronized phases
+// (odd levels → think → root work → even levels); every phase boundary is a
+// barrier among the maintenance/worker team. std::barrier would do, but a
+// sense-reversing counter barrier is what the paper-era systems used, is
+// noticeably cheaper for small thread counts, and lets us count barrier
+// crossings for the contention instrumentation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace ph {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::uint32_t parties) : parties_(parties), remaining_(parties) {
+    PH_ASSERT(parties > 0);
+  }
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Block until all `parties` threads have arrived. Each participating
+  /// thread must carry its own `local_sense`, initialized to false, across
+  /// calls (ThreadTeam does this for its members).
+  void arrive_and_wait(bool& local_sense) noexcept {
+    local_sense = !local_sense;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset the count and release everyone.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      crossings_.fetch_add(1, std::memory_order_relaxed);
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      std::uint32_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        if (++spins > 1024) std::this_thread::yield();
+      }
+    }
+  }
+
+  std::uint32_t parties() const noexcept { return parties_; }
+
+  /// Number of completed barrier episodes (for instrumentation).
+  std::uint64_t crossings() const noexcept {
+    return crossings_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint32_t parties_;
+  alignas(kCacheLine) std::atomic<std::uint32_t> remaining_;
+  alignas(kCacheLine) std::atomic<bool> sense_{false};
+  alignas(kCacheLine) std::atomic<std::uint64_t> crossings_{0};
+};
+
+}  // namespace ph

@@ -1,0 +1,110 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All workloads and tests in this repository are seeded; any two runs with
+// the same seed produce identical operation streams, which is what makes the
+// differential tests (parallel heap vs oracle, parallel simulator vs serial
+// reference) exact. SplitMix64 is used to derive independent per-thread /
+// per-LP streams from one master seed; Xoshiro256** is the workhorse
+// generator (fast, 256-bit state, passes BigCrush).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ph {
+
+/// SplitMix64: tiny generator used to seed/derive other generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator so
+/// it can drive <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent stream for worker `index` from this generator's
+  /// current state (used to hand each thread/LP its own generator).
+  Xoshiro256 split(std::uint64_t index) noexcept {
+    SplitMix64 sm(operator()() ^ (index * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+    Xoshiro256 out(sm.next());
+    return out;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __extension__ typedef unsigned __int128 u128;
+    u128 m = static_cast<u128>(operator()()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<u128>(operator()()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponential variate with the given mean (> 0).
+  double next_exponential(double mean) noexcept {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ph

@@ -1,0 +1,59 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used by the lock-based baseline priority queues (the "heap with locks"
+// comparator from the lineage) and by the fine-grained concurrent heap's
+// per-node locks. Meets the Lockable requirements so it composes with
+// std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ph {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    std::uint32_t spins = 1;
+    for (;;) {
+      // Test-and-set only when the preceding relaxed read saw the lock free:
+      // keeps the line in shared state while waiting.
+      if (!flag_.load(std::memory_order_relaxed) &&
+          !flag_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      backoff(spins);
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static void backoff(std::uint32_t& spins) noexcept {
+    constexpr std::uint32_t kYieldThreshold = 1u << 10;
+    if (spins < kYieldThreshold) {
+      for (std::uint32_t i = 0; i < spins; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      spins <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace ph

@@ -1,0 +1,43 @@
+#include "util/stats.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ph {
+
+void Pow2Histogram::add(std::uint64_t x) noexcept {
+  const std::size_t b = x <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(x - 1));
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+std::string Pow2Histogram::to_string() const {
+  std::ostringstream os;
+  os << "total=" << total_;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : (1ull << (b - 1)) + (b == 1 ? 1 : 0);
+    const std::uint64_t hi = b == 0 ? 1 : (1ull << b) - 1;
+    os << " [" << lo << ".." << hi << "]=" << buckets_[b];
+  }
+  return os.str();
+}
+
+std::uint64_t StatRegistry::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string StatRegistry::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) os << " ";
+    first = false;
+    os << k << "=" << v;
+  }
+  return os.str();
+}
+
+}  // namespace ph

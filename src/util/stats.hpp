@@ -1,0 +1,73 @@
+// Instrumentation: counters and histograms.
+//
+// Because this reproduction runs on hardware where wall-clock speedup cannot
+// be observed (see DESIGN.md), the scalability claims are additionally
+// evidenced with hardware-independent counters: items merged per level,
+// update processes serviced, critical-path ("span") work per cycle, lock
+// acquisitions in the baselines. StatRegistry collects named counters so
+// benchmarks can print them next to the timings.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ph {
+
+/// Streaming summary of a sequence of samples (count/min/max/mean).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram for non-negative integer samples
+/// (e.g. dirty-set sizes, rollback lengths, batch occupancies).
+class Pow2Histogram {
+ public:
+  void add(std::uint64_t x) noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+  /// Bucket b counts samples in [2^(b-1), 2^b), bucket 0 counts zeros/ones.
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counters for a single benchmark/test run. Not thread-safe by
+/// design: concurrent components keep per-thread counters and merge them
+/// into a registry at phase boundaries.
+class StatRegistry {
+ public:
+  void add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
+  std::uint64_t get(const std::string& name) const;
+  void clear() { counters_.clear(); }
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ph

@@ -1,0 +1,125 @@
+// ThreadTeam: a persistent fork-join worker team.
+//
+// The parallel heap engine repeatedly runs short phases (service one level's
+// update processes, run the think phase on r items) across the same set of
+// threads; creating threads per phase would dwarf the O(r log n) useful work.
+// ThreadTeam keeps its members parked on a condition variable between phases
+// — not spinning — because oversubscribed hosts (like this container) must
+// not burn the CPU that the active phase needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/affinity.hpp"
+#include "util/assert.hpp"
+
+namespace ph {
+
+class ThreadTeam {
+ public:
+  /// Creates `threads` workers (>= 1). With pin=true each worker is pinned
+  /// round-robin to a CPU.
+  explicit ThreadTeam(unsigned threads, bool pin = false) : size_(threads) {
+    PH_ASSERT(threads >= 1);
+    workers_.reserve(threads);
+    for (unsigned tid = 0; tid < threads; ++tid) {
+      workers_.emplace_back([this, tid, pin] {
+        if (pin) pin_this_thread(tid);
+        worker_loop(tid);
+      });
+    }
+  }
+
+  ~ThreadTeam() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  unsigned size() const noexcept { return size_; }
+
+  /// Runs fn(tid) on every member thread and blocks until all finish.
+  /// fn must not itself call run() on the same team.
+  void run(const std::function<void(unsigned)>& fn) {
+    begin(fn);
+    wait();
+  }
+
+  /// Dispatches fn(tid) to every member without blocking; pair with wait().
+  /// `fn` must stay alive until wait() returns. The caller can overlap its
+  /// own work with the team — this is how the engine overlaps the think
+  /// phase with heap maintenance.
+  void begin(const std::function<void(unsigned)>& fn) {
+    std::lock_guard lk(mu_);
+    PH_ASSERT_MSG(pending_ == 0, "ThreadTeam::begin while a phase is active");
+    task_ = &fn;
+    pending_ = size_;
+    ++epoch_;
+    cv_.notify_all();
+  }
+
+  /// Blocks until the phase started by begin() has finished on all members.
+  void wait() {
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+  /// Statically chunked parallel loop over [begin, end); fn(i) per index.
+  /// Chunks are contiguous so sequentially-adjacent work stays on one thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn) {
+    const std::size_t n = end - begin;
+    if (n == 0) return;
+    run([&, n](unsigned tid) {
+      const std::size_t chunk = (n + size_ - 1) / size_;
+      const std::size_t lo = begin + std::min(n, tid * chunk);
+      const std::size_t hi = begin + std::min(n, (tid + 1) * chunk);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+
+ private:
+  void worker_loop(unsigned tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* task;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return epoch_ != seen; });
+        seen = epoch_;
+        if (stop_) return;
+        task = task_;
+      }
+      (*task)(tid);
+      {
+        std::lock_guard lk(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const unsigned size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ph

@@ -1,0 +1,46 @@
+// Wall-clock timing helpers used by benchmarks and the engine's phase
+// accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ph {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across start/stop episodes; used to split engine time
+/// into think / maintenance / barrier components.
+class PhaseTimer {
+ public:
+  void start() noexcept { t_.reset(); }
+  void stop() noexcept { total_ += t_.seconds(); }
+  double total_seconds() const noexcept { return total_; }
+  void clear() noexcept { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace ph

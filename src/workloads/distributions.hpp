@@ -1,0 +1,70 @@
+// Priority-increment distributions for the hold model, following the
+// classic priority-queue evaluation methodology (Jones CACM'86, Brown
+// CACM'88, Rönngren & Ayani). The increment is added to the dequeued item's
+// priority before re-insertion; its shape controls how clustered the queue's
+// near-future region is, which is what separates calendar-queue-friendly
+// workloads from heap-friendly ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ph {
+
+enum class Dist : std::uint8_t {
+  kExponential,  ///< exp(mean 1) — the M/M/1 classic
+  kUniform,      ///< U(0, 2)
+  kBimodal,      ///< 90% U(0, 0.95) + 10% U(9.5, 10.5): rare far-future spikes
+  kTriangular,   ///< right-triangular on (0, 1.5): density rising toward 1.5
+  kCamel,        ///< two humps at 0.1ish and 9ish (Rönngren & Ayani's "camel")
+};
+
+inline const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::kExponential: return "exponential";
+    case Dist::kUniform: return "uniform";
+    case Dist::kBimodal: return "bimodal";
+    case Dist::kTriangular: return "triangular";
+    case Dist::kCamel: return "camel";
+  }
+  return "?";
+}
+
+/// Draws one increment (> 0, mean within a small constant of 1–2).
+inline double draw_increment(Xoshiro256& rng, Dist d) {
+  switch (d) {
+    case Dist::kExponential:
+      return rng.next_exponential(1.0);
+    case Dist::kUniform:
+      return rng.next_double() * 2.0;
+    case Dist::kBimodal:
+      if (rng.next_below(10) == 0) return 9.5 + rng.next_double();
+      return rng.next_double() * 0.95;
+    case Dist::kTriangular: {
+      // max of two uniforms has a rising triangular density
+      const double a = rng.next_double();
+      const double b = rng.next_double();
+      return 1.5 * (a > b ? a : b);
+    }
+    case Dist::kCamel:
+      if (rng.next_below(2) == 0) return 0.05 + rng.next_double() * 0.1;
+      return 8.5 + rng.next_double();
+  }
+  return 1.0;
+}
+
+/// Fixed-point conversion used when driving integer-keyed queues with
+/// real-valued priorities (20 fractional bits keeps exactness well beyond
+/// any horizon these workloads reach).
+inline std::uint64_t to_fixed(double t) {
+  PH_ASSERT(t >= 0);
+  return static_cast<std::uint64_t>(t * static_cast<double>(1u << 20));
+}
+inline double from_fixed(std::uint64_t f) {
+  return static_cast<double>(f) / static_cast<double>(1u << 20);
+}
+
+}  // namespace ph

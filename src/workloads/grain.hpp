@@ -1,0 +1,23 @@
+// Event-grain spinner: the lineage models event computation cost with an
+// empty for-loop of configurable iterations ("medium event grain using an
+// empty for-loop with [many] iterations"). spin_work reproduces that in a
+// form the optimizer cannot elide.
+#pragma once
+
+#include <cstdint>
+
+namespace ph {
+
+/// Burns roughly `iters` dependent ALU operations; returns a value derived
+/// from the loop so callers can fold it into a sink.
+inline std::uint64_t spin_work(std::uint64_t iters, std::uint64_t seed = 1) noexcept {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+}  // namespace ph

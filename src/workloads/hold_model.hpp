@@ -1,0 +1,86 @@
+// The hold model — the standard priority-queue benchmark: preload n items,
+// then repeatedly delete the minimum and re-insert it with its priority
+// advanced by a random increment, keeping the size at n ("hold" operations).
+//
+// Two drivers:
+//  * BatchHold drives any queue exposing the batch interface
+//    cycle(new_items, k, out) — the parallel heaps, BatchAdapter-lifted
+//    serial heaps, and LockedPQ all do — performing hold in batches of k,
+//    which is the parallel heap's natural access pattern (the r earliest
+//    items advance together).
+//  * scalar_hold drives a scalar push/pop queue one item at a time.
+//
+// Keys are uint64 fixed-point priorities so every structure under test sees
+// bit-identical work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/distributions.hpp"
+#include "workloads/grain.hpp"
+
+namespace ph {
+
+struct HoldConfig {
+  std::size_t n = 1 << 16;       ///< steady-state queue size
+  std::uint64_t ops = 1 << 20;   ///< hold operations (delete+insert pairs)
+  Dist dist = Dist::kExponential;
+  std::uint64_t seed = 1;
+  std::uint64_t grain = 0;       ///< spin iterations per processed item
+};
+
+struct HoldResult {
+  std::uint64_t ops = 0;
+  std::uint64_t sink = 0;  ///< fold of spin results; defeats dead-code elim
+};
+
+/// Generates the initial queue content for a hold run (priorities in one
+/// increment-mean of 0).
+inline std::vector<std::uint64_t> hold_initial(const HoldConfig& cfg) {
+  Xoshiro256 rng(cfg.seed);
+  std::vector<std::uint64_t> init(cfg.n);
+  for (auto& x : init) x = to_fixed(draw_increment(rng, cfg.dist));
+  return init;
+}
+
+/// Batch hold: per cycle, delete `batch` items and re-insert each advanced
+/// by an increment. Q needs cycle(span, k, vector&).
+template <typename Q>
+HoldResult batch_hold(Q& q, const HoldConfig& cfg, std::size_t batch) {
+  Xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  HoldResult res;
+  std::vector<std::uint64_t> deleted, fresh;
+  while (res.ops < cfg.ops) {
+    deleted.clear();
+    q.cycle(fresh, batch, deleted);
+    fresh.clear();
+    for (std::uint64_t t : deleted) {
+      if (cfg.grain != 0) res.sink ^= spin_work(cfg.grain, t);
+      fresh.push_back(t + to_fixed(draw_increment(rng, cfg.dist)));
+    }
+    res.ops += deleted.size();
+    if (deleted.empty()) break;
+  }
+  // Flush the final regenerated batch so steady-state size is preserved.
+  std::vector<std::uint64_t> sink;
+  q.cycle(fresh, 0, sink);
+  return res;
+}
+
+/// Scalar hold: one delete+insert per step. Q needs push/pop/empty.
+template <typename Q>
+HoldResult scalar_hold(Q& q, const HoldConfig& cfg) {
+  Xoshiro256 rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+  HoldResult res;
+  for (std::uint64_t i = 0; i < cfg.ops && !q.empty(); ++i) {
+    const std::uint64_t t = q.pop();
+    if (cfg.grain != 0) res.sink ^= spin_work(cfg.grain, t);
+    q.push(t + to_fixed(draw_increment(rng, cfg.dist)));
+    ++res.ops;
+  }
+  return res;
+}
+
+}  // namespace ph

@@ -1,0 +1,122 @@
+// Tests for the d-ary generalization of the synchronous parallel heap:
+// oracle equivalence and invariants for arities 2..8, plus geometry checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel_heap.hpp"
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+struct Params {
+  std::size_t r;
+  std::size_t arity;
+  std::uint64_t seed;
+};
+
+class DaryHeapVsOracle : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DaryHeapVsOracle, RandomOpsMatchSortedOracle) {
+  const Params p = GetParam();
+  ParallelHeap<std::uint64_t> heap(p.r, std::less<std::uint64_t>{}, p.arity);
+  EXPECT_EQ(heap.arity(), p.arity);
+  std::vector<std::uint64_t> oracle;
+  Xoshiro256 rng(p.seed);
+
+  std::vector<std::uint64_t> batch, got;
+  for (int step = 0; step < 300; ++step) {
+    if (rng.next_below(2) == 0) {
+      batch.clear();
+      const std::size_t n = rng.next_below(3 * p.r + 1);
+      for (std::size_t i = 0; i < n; ++i) batch.push_back(rng.next_below(1u << 18));
+      heap.insert_batch(batch);
+      oracle.insert(oracle.end(), batch.begin(), batch.end());
+      std::sort(oracle.begin(), oracle.end());
+    } else {
+      const std::size_t k = rng.next_below(2 * p.r + 1);
+      got.clear();
+      const std::size_t take = heap.delete_min_batch(k, got);
+      const std::size_t want = std::min(k, oracle.size());
+      ASSERT_EQ(take, want) << "step " << step;
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), oracle.begin()))
+          << "step " << step;
+      oracle.erase(oracle.begin(), oracle.begin() + static_cast<std::ptrdiff_t>(want));
+    }
+    std::string why;
+    ASSERT_TRUE(heap.check_invariants(&why)) << "step " << step << ": " << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AritySweep, DaryHeapVsOracle,
+    ::testing::Values(Params{4, 2, 901}, Params{4, 3, 902}, Params{4, 4, 903},
+                      Params{4, 8, 904}, Params{16, 3, 905}, Params{16, 4, 906},
+                      Params{1, 4, 907}, Params{64, 6, 908}, Params{7, 5, 909}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "r" + std::to_string(info.param.r) + "_d" +
+             std::to_string(info.param.arity);
+    });
+
+TEST(DaryGeometry, LevelsShrinkWithArity) {
+  std::vector<std::uint64_t> items(4096);
+  Xoshiro256 rng(3);
+  for (auto& x : items) x = rng.next_below(1u << 20);
+
+  ParallelHeap<std::uint64_t> h2(4, std::less<std::uint64_t>{}, 2);
+  ParallelHeap<std::uint64_t> h8(4, std::less<std::uint64_t>{}, 8);
+  h2.build(items);
+  h8.build(items);
+  EXPECT_EQ(h2.num_nodes(), h8.num_nodes());
+  EXPECT_GT(h2.levels(), h8.levels());
+  EXPECT_TRUE(h2.check_invariants());
+  EXPECT_TRUE(h8.check_invariants());
+}
+
+TEST(DaryGeometry, IdenticalDeletionStreamAcrossArities) {
+  // The deletion stream is the sorted order regardless of arity.
+  std::vector<std::uint64_t> items(2000);
+  Xoshiro256 rng(7);
+  for (auto& x : items) x = rng.next_below(1u << 24);
+  std::vector<std::uint64_t> want = items;
+  std::sort(want.begin(), want.end());
+
+  for (std::size_t d : {2u, 3u, 4u, 8u}) {
+    ParallelHeap<std::uint64_t> h(32, std::less<std::uint64_t>{}, d);
+    h.build(items);
+    std::vector<std::uint64_t> got;
+    h.delete_min_batch(items.size(), got);
+    EXPECT_EQ(got, want) << "arity " << d;
+  }
+}
+
+TEST(DaryGeometry, HoldSteadyStateAllArities) {
+  for (std::size_t d : {2u, 4u, 6u}) {
+    ParallelHeap<std::uint64_t> h(16, std::less<std::uint64_t>{}, d);
+    Xoshiro256 rng(11);
+    std::vector<std::uint64_t> init(512);
+    for (auto& x : init) x = rng.next_below(1u << 20);
+    h.build(init);
+    std::vector<std::uint64_t> out, fresh;
+    for (int c = 0; c < 200; ++c) {
+      out.clear();
+      h.cycle(fresh, 16, out);
+      // Each batch is the sorted global minimum of heap ∪ fresh. (Across
+      // batches the stream need not be monotone: small hold increments can
+      // legally re-enter below the previous batch's maximum.)
+      ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+      if (!fresh.empty() && !out.empty()) {
+        ASSERT_LE(out.front(), fresh.back());
+      }
+      fresh.clear();
+      for (auto t : out) fresh.push_back(t + 1 + rng.next_below(1000));
+      ASSERT_TRUE(h.check_invariants()) << "arity " << d << " cycle " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ph

@@ -1,0 +1,343 @@
+// Tests for the baseline priority queues. The scalar heaps share one typed
+// suite (they must all behave as exact min-queues); the calendar queue and
+// the concurrent wrappers get targeted suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "baselines/dary_heap.hpp"
+#include "baselines/leftist_heap.hpp"
+#include "baselines/local_heaps.hpp"
+#include "baselines/locked_pq.hpp"
+#include "baselines/pairing_heap.hpp"
+#include "baselines/pq_concepts.hpp"
+#include "baselines/skew_heap.hpp"
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+template <typename Q>
+class ScalarPQTest : public ::testing::Test {
+ public:
+  Q q;
+};
+
+using ScalarPQs =
+    ::testing::Types<BinaryHeap<std::uint64_t>, DaryHeap<std::uint64_t, 2>,
+                     DaryHeap<std::uint64_t, 4>, DaryHeap<std::uint64_t, 8>,
+                     SkewHeap<std::uint64_t>, PairingHeap<std::uint64_t>,
+                     LeftistHeap<std::uint64_t>>;
+TYPED_TEST_SUITE(ScalarPQTest, ScalarPQs);
+
+TYPED_TEST(ScalarPQTest, StartsEmpty) {
+  EXPECT_TRUE(this->q.empty());
+  EXPECT_EQ(this->q.size(), 0u);
+}
+
+TYPED_TEST(ScalarPQTest, PushPopSingle) {
+  this->q.push(42);
+  EXPECT_EQ(this->q.size(), 1u);
+  EXPECT_EQ(this->q.top(), 42u);
+  EXPECT_EQ(this->q.pop(), 42u);
+  EXPECT_TRUE(this->q.empty());
+}
+
+TYPED_TEST(ScalarPQTest, SortsRandomInput) {
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> in(2000);
+  for (auto& x : in) x = rng.next_below(1u << 20);
+  for (auto x : in) this->q.push(x);
+  EXPECT_TRUE(this->q.check_invariants());
+  std::sort(in.begin(), in.end());
+  for (auto want : in) EXPECT_EQ(this->q.pop(), want);
+  EXPECT_TRUE(this->q.empty());
+}
+
+TYPED_TEST(ScalarPQTest, HandlesDuplicates) {
+  for (int rep = 0; rep < 50; ++rep) {
+    this->q.push(7);
+    this->q.push(3);
+  }
+  for (int rep = 0; rep < 50; ++rep) EXPECT_EQ(this->q.pop(), 3u);
+  for (int rep = 0; rep < 50; ++rep) EXPECT_EQ(this->q.pop(), 7u);
+}
+
+TYPED_TEST(ScalarPQTest, DescendingInsertions) {
+  for (std::uint64_t i = 500; i > 0; --i) this->q.push(i);
+  EXPECT_TRUE(this->q.check_invariants());
+  for (std::uint64_t i = 1; i <= 500; ++i) EXPECT_EQ(this->q.pop(), i);
+}
+
+TYPED_TEST(ScalarPQTest, InterleavedPushPop) {
+  Xoshiro256 rng(13);
+  std::vector<std::uint64_t> oracle;
+  for (int step = 0; step < 3000; ++step) {
+    if (oracle.empty() || rng.next_below(5) < 3) {
+      const std::uint64_t v = rng.next_below(1000);
+      this->q.push(v);
+      oracle.insert(std::upper_bound(oracle.begin(), oracle.end(), v), v);
+    } else {
+      ASSERT_EQ(this->q.pop(), oracle.front());
+      oracle.erase(oracle.begin());
+    }
+    ASSERT_EQ(this->q.size(), oracle.size());
+  }
+  ASSERT_TRUE(this->q.check_invariants());
+}
+
+TYPED_TEST(ScalarPQTest, TopDoesNotRemove) {
+  this->q.push(9);
+  this->q.push(4);
+  EXPECT_EQ(this->q.top(), 4u);
+  EXPECT_EQ(this->q.top(), 4u);
+  EXPECT_EQ(this->q.size(), 2u);
+}
+
+TEST(BinaryHeap, FloydBuildIsValid) {
+  BinaryHeap<int> h;
+  Xoshiro256 rng(17);
+  std::vector<int> in(1000);
+  for (auto& x : in) x = static_cast<int>(rng.next_below(5000));
+  h.build(in);
+  EXPECT_TRUE(h.check_invariants());
+  std::sort(in.begin(), in.end());
+  for (int want : in) EXPECT_EQ(h.pop(), want);
+}
+
+TEST(SkewHeap, MergeAbsorbs) {
+  SkewHeap<int> a, b;
+  for (int i : {5, 1, 9}) a.push(i);
+  for (int i : {2, 8}) b.push(i);
+  a.merge(b);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.size(), 5u);
+  std::vector<int> got;
+  while (!a.empty()) got.push_back(a.pop());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 5, 8, 9}));
+}
+
+TEST(LeftistHeap, MergeAndNplInvariant) {
+  LeftistHeap<int> a, b;
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 300; ++i) a.push(static_cast<int>(rng.next_below(1000)));
+  for (int i = 0; i < 500; ++i) b.push(static_cast<int>(rng.next_below(1000)));
+  a.merge(b);
+  EXPECT_TRUE(a.check_invariants());
+  EXPECT_EQ(a.size(), 800u);
+  int prev = -1;
+  while (!a.empty()) {
+    const int v = a.pop();
+    EXPECT_LE(prev, v);
+    prev = v;
+  }
+}
+
+TEST(BatchAdapter, LiftsScalarQueue) {
+  BatchAdapter<BinaryHeap<std::uint64_t>, std::uint64_t> q;
+  std::vector<std::uint64_t> in{9, 1, 7, 3};
+  q.insert_batch(in);
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(q.delete_min_batch(3, out), 3u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 3, 7}));
+  EXPECT_EQ(q.cycle(std::vector<std::uint64_t>{0, 5}, 3, out), 3u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 3, 7, 0, 5, 9}));
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------- calendar
+
+struct Ev {
+  double t;
+  int id;
+};
+struct EvKey {
+  double operator()(const Ev& e) const { return e.t; }
+};
+
+TEST(CalendarQueue, SortsRandomPriorities) {
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(23);
+  std::vector<double> in(3000);
+  for (auto& t : in) t = rng.next_double() * 1000.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    q.push(Ev{in[i], static_cast<int>(i)});
+  }
+  EXPECT_TRUE(q.check_invariants());
+  std::sort(in.begin(), in.end());
+  for (double want : in) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.pop().t, want);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, HoldModelNonDecreasing) {
+  // The access pattern the structure was designed for: pop the earliest,
+  // re-insert at a future time.
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 512; ++i) q.push(Ev{rng.next_double() * 10, i});
+  double clock = 0;
+  for (int step = 0; step < 20000; ++step) {
+    Ev e = q.pop();
+    ASSERT_GE(e.t, clock) << "step " << step;
+    clock = e.t;
+    e.t = clock + rng.next_exponential(1.0);
+    q.push(e);
+  }
+  EXPECT_EQ(q.size(), 512u);
+}
+
+TEST(CalendarQueue, SkewedPrioritiesStillExact) {
+  // Bimodal gaps stress the width heuristic; exactness must not depend on it.
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(31);
+  std::vector<double> in;
+  for (int i = 0; i < 1000; ++i) {
+    const double base = rng.next_below(2) == 0 ? 0.0 : 10000.0;
+    in.push_back(base + rng.next_double());
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) q.push(Ev{in[i], static_cast<int>(i)});
+  std::sort(in.begin(), in.end());
+  for (double want : in) EXPECT_DOUBLE_EQ(q.pop().t, want);
+}
+
+TEST(CalendarQueue, GrowShrinkResizes) {
+  // Repeated fill/drain cycles exercise both resize directions. Each
+  // round's events start at the running clock, per the event-set contract
+  // (insertions never precede the last dequeue).
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(37);
+  double clock = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 2000; ++i) q.push(Ev{clock + rng.next_double() * 100, i});
+    double prev = clock;
+    for (int i = 0; i < 2000; ++i) {
+      const Ev e = q.pop();
+      ASSERT_GE(e.t, prev);
+      prev = e.t;
+    }
+    clock = prev;
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(CalendarQueue, FarPastInsertionStillExact) {
+  // An insertion more than one day behind the clock must be recovered by
+  // the direct-search fallback.
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 256; ++i) q.push(Ev{1000.0 + rng.next_double() * 100, i});
+  for (int i = 0; i < 100; ++i) q.pop();  // clock ≈ 1030
+  q.push(Ev{3.0, 999});
+  EXPECT_EQ(q.pop().id, 999);
+}
+
+// -------------------------------------------------------------- concurrent
+
+TEST(LockedPQ, SerialSemantics) {
+  LockedPQ<BinaryHeap<std::uint64_t>, std::uint64_t> q;
+  q.push(5);
+  q.push(2);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_GE(q.lock_acquisitions(), 5u);
+}
+
+TEST(LockedPQ, ConcurrentMixedOpsPreserveMultiset) {
+  LockedPQ<BinaryHeap<std::uint64_t>, std::uint64_t> q;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        q.push(rng.next_below(1u << 20));
+        if (i % 2 == 1) {
+          std::uint64_t v;
+          if (q.try_pop(v)) popped[static_cast<std::size_t>(t)].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::size_t total_popped = 0;
+  for (const auto& p : popped) total_popped += p.size();
+  EXPECT_EQ(q.size() + total_popped, static_cast<std::size_t>(kThreads) * kPerThread);
+
+  // Recover the full multiset and compare with what was pushed.
+  std::vector<std::uint64_t> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::uint64_t v;
+  while (q.try_pop(v)) all.push_back(v);
+  std::vector<std::uint64_t> want;
+  for (int t = 0; t < kThreads; ++t) {
+    Xoshiro256 rng(1000 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) want.push_back(rng.next_below(1u << 20));
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(all, want);
+}
+
+TEST(LocalHeaps, PartitionedPopsAreLocalMins) {
+  LocalHeaps<std::uint64_t> q(4);
+  for (std::uint64_t i = 0; i < 16; ++i) q.push(i, i % 4);
+  // Partition p holds {p, p+4, p+8, p+12}; popping from home p yields p.
+  std::uint64_t v = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(q.try_pop(p, v));
+    EXPECT_EQ(v, p);
+  }
+  EXPECT_EQ(q.size(), 12u);
+}
+
+TEST(LocalHeaps, StealsWhenHomeEmpty) {
+  LocalHeaps<std::uint64_t> q(3);
+  q.push(42, 2);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(q.try_pop(0, v));  // home 0 empty → steal from 2
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(q.steals(), 1u);
+  EXPECT_FALSE(q.try_pop(0, v));
+}
+
+TEST(LocalHeaps, ConcurrentChurnPreservesMultiset) {
+  LocalHeaps<std::uint64_t> q(4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(2000 + static_cast<std::uint64_t>(t));
+      const auto tid = static_cast<std::size_t>(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        q.push(rng.next_below(1u << 16), tid + static_cast<std::size_t>(i));
+        if (i % 3 == 2) {
+          std::uint64_t v;
+          if (q.try_pop(tid, v)) popped[tid].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::size_t total_popped = 0;
+  for (const auto& p : popped) total_popped += p.size();
+  EXPECT_EQ(q.size() + total_popped, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace ph

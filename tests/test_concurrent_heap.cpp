@@ -1,0 +1,143 @@
+// Tests for the insert-concurrent fine-grained heap: serial exactness,
+// invariants after concurrent insertion storms, multiset preservation under
+// mixed churn, and capacity behaviour.
+#include "baselines/concurrent_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+using Heap = InsertConcurrentHeap<std::uint64_t>;
+
+TEST(InsertConcurrentHeap, SerialSortsRandomInput) {
+  Heap h(4096);
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> in(4000);
+  for (auto& x : in) x = rng.next_below(1u << 20);
+  for (auto x : in) h.push(x);
+  EXPECT_TRUE(h.check_invariants());
+  std::sort(in.begin(), in.end());
+  std::uint64_t v = 0;
+  for (auto want : in) {
+    ASSERT_TRUE(h.try_pop(v));
+    ASSERT_EQ(v, want);
+  }
+  EXPECT_FALSE(h.try_pop(v));
+}
+
+TEST(InsertConcurrentHeap, CapacityBound) {
+  Heap h(3);
+  EXPECT_TRUE(h.try_push(1));
+  EXPECT_TRUE(h.try_push(2));
+  EXPECT_TRUE(h.try_push(3));
+  EXPECT_FALSE(h.try_push(4));
+  std::uint64_t v;
+  EXPECT_TRUE(h.try_pop(v));
+  EXPECT_TRUE(h.try_push(4));
+}
+
+TEST(InsertConcurrentHeap, ConcurrentInsertionStorm) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  Heap h(kThreads * kPerThread);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) h.push(rng.next_below(1u << 24));
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(h.check_invariants());
+
+  // Drained output equals the pushed multiset, sorted.
+  std::vector<std::uint64_t> want;
+  for (int t = 0; t < kThreads; ++t) {
+    Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) want.push_back(rng.next_below(1u << 24));
+  }
+  std::sort(want.begin(), want.end());
+  std::uint64_t v = 0;
+  for (auto exp : want) {
+    ASSERT_TRUE(h.try_pop(v));
+    ASSERT_EQ(v, exp);
+  }
+}
+
+TEST(InsertConcurrentHeap, MixedChurnPreservesMultiset) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3000;
+  Heap h(kThreads * kPerThread);
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(200 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        h.push(rng.next_below(1u << 20));
+        if (i % 2 == 1) {
+          std::uint64_t v;
+          if (h.try_pop(v)) popped[static_cast<std::size_t>(t)].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(h.check_invariants());
+
+  std::vector<std::uint64_t> all;
+  for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+  std::uint64_t v;
+  while (h.try_pop(v)) all.push_back(v);
+  std::vector<std::uint64_t> want;
+  for (int t = 0; t < kThreads; ++t) {
+    Xoshiro256 rng(200 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) want.push_back(rng.next_below(1u << 20));
+  }
+  std::sort(all.begin(), all.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(all, want);
+}
+
+TEST(InsertConcurrentHeap, PopsAreMonotoneUnderConcurrentGrowth) {
+  // While one thread pops, another pushes ever-larger keys: the popper's
+  // stream must be non-decreasing (new keys never undercut the current min).
+  Heap h(1 << 16);
+  for (std::uint64_t i = 0; i < 64; ++i) h.push(i);
+  std::atomic<bool> done{false};
+  std::thread pusher([&] {
+    for (std::uint64_t k = 1000; k < 6000; ++k) h.push(k);
+    done.store(true);
+  });
+  std::uint64_t prev = 0;
+  std::uint64_t v = 0;
+  while (!done.load() || h.try_pop(v)) {
+    if (h.try_pop(v)) {
+      ASSERT_GE(v, prev);
+      prev = v;
+    }
+  }
+  pusher.join();
+}
+
+TEST(InsertConcurrentHeap, CountersTrackOps) {
+  Heap h(64);
+  h.push(5);
+  h.push(3);
+  std::uint64_t v;
+  h.try_pop(v);
+  EXPECT_EQ(h.pushes(), 2u);
+  EXPECT_EQ(h.pops(), 1u);
+}
+
+}  // namespace
+}  // namespace ph

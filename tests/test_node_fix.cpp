@@ -1,0 +1,202 @@
+// Property tests for the node-repair kernels (node_fix.hpp) against a
+// brute-force reference: the repaired parent must hold exactly the nv
+// smallest of parent ∪ children, per-child counts must be preserved, the
+// overall multiset must be conserved, and the residual-violation flags must
+// be exact.
+#include "core/node_fix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+using Less = std::less<std::uint64_t>;
+constexpr const std::uint64_t* kNoGrand = nullptr;
+
+std::vector<std::uint64_t> sorted_random(Xoshiro256& rng, std::size_t n,
+                                         std::uint64_t bound) {
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(bound);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(FixNode, SimpleExchange) {
+  std::vector<std::uint64_t> v{10, 20}, l{1, 30}, r{5, 40};
+  FixScratch<std::uint64_t> s;
+  const auto out = fix_node(std::span<std::uint64_t>(v), std::span<std::uint64_t>(l),
+                            std::span<std::uint64_t>(r), kNoGrand, kNoGrand, s, Less{});
+  // Smallest 2 of {10,20,1,30,5,40} = {1,5}.
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 5}));
+  EXPECT_EQ(out.taken_l + out.taken_r, 2u);
+  // Children keep their counts; union conserved.
+  std::vector<std::uint64_t> rest = l;
+  rest.insert(rest.end(), r.begin(), r.end());
+  std::sort(rest.begin(), rest.end());
+  EXPECT_EQ(rest, (std::vector<std::uint64_t>{10, 20, 30, 40}));
+}
+
+TEST(FixNode, NoExchangeWhenOrdered) {
+  std::vector<std::uint64_t> v{1, 2}, l{3, 4}, r{5, 6};
+  FixScratch<std::uint64_t> s;
+  const auto out = fix_node(std::span<std::uint64_t>(v), std::span<std::uint64_t>(l),
+                            std::span<std::uint64_t>(r), kNoGrand, kNoGrand, s, Less{});
+  EXPECT_EQ(out.taken_l, 0u);
+  EXPECT_EQ(out.taken_r, 0u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(FixNode, RandomizedAgainstBruteForce) {
+  Xoshiro256 rng(71);
+  FixScratch<std::uint64_t> s;
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t nv = 1 + rng.next_below(12);
+    auto v = sorted_random(rng, nv, 100);
+    auto l = sorted_random(rng, rng.next_below(13), 100);
+    auto r = sorted_random(rng, rng.next_below(13), 100);
+    if (l.empty() && r.empty()) continue;
+
+    std::vector<std::uint64_t> all = v;
+    all.insert(all.end(), l.begin(), l.end());
+    all.insert(all.end(), r.begin(), r.end());
+    std::sort(all.begin(), all.end());
+
+    const std::size_t nl = l.size(), nr = r.size();
+    const auto out =
+        fix_node(std::span<std::uint64_t>(v), std::span<std::uint64_t>(l),
+                 std::span<std::uint64_t>(r), kNoGrand, kNoGrand, s, Less{});
+
+    // Parent: exactly the nv smallest of the union.
+    EXPECT_TRUE(std::equal(v.begin(), v.end(), all.begin())) << "iter " << iter;
+    // Counts preserved.
+    EXPECT_EQ(l.size(), nl);
+    EXPECT_EQ(r.size(), nr);
+    EXPECT_LE(out.taken_l, nl);
+    EXPECT_LE(out.taken_r, nr);
+    // Sortedness.
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    EXPECT_TRUE(std::is_sorted(l.begin(), l.end()));
+    EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+    // Heap condition restored at this level.
+    if (!l.empty()) {
+      EXPECT_LE(v.back(), l.front());
+    }
+    if (!r.empty()) {
+      EXPECT_LE(v.back(), r.front());
+    }
+    // Multiset conserved.
+    std::vector<std::uint64_t> now = v;
+    now.insert(now.end(), l.begin(), l.end());
+    now.insert(now.end(), r.begin(), r.end());
+    std::sort(now.begin(), now.end());
+    EXPECT_EQ(now, all);
+  }
+}
+
+TEST(FixNode, ViolationFlagsExact) {
+  Xoshiro256 rng(73);
+  FixScratch<std::uint64_t> s;
+  for (int iter = 0; iter < 300; ++iter) {
+    auto v = sorted_random(rng, 1 + rng.next_below(6), 50);
+    auto l = sorted_random(rng, 1 + rng.next_below(6), 50);
+    auto r = sorted_random(rng, 1 + rng.next_below(6), 50);
+    const std::uint64_t gl = rng.next_below(50);
+    const std::uint64_t gr = rng.next_below(50);
+    const auto out = fix_node(std::span<std::uint64_t>(v), std::span<std::uint64_t>(l),
+                              std::span<std::uint64_t>(r), &gl, &gr, s, Less{});
+    if (out.taken_l > 0) {
+      EXPECT_EQ(out.l_violates, gl < l.back()) << "iter " << iter;
+    }
+    if (out.taken_r > 0) {
+      EXPECT_EQ(out.r_violates, gr < r.back()) << "iter " << iter;
+    }
+  }
+}
+
+TEST(FixNodeMulti, MatchesBinaryKernel) {
+  // With d = 2 the multi kernel must produce the same parent content and
+  // the same per-child multisets partitioning (same taken counts).
+  Xoshiro256 rng(79);
+  FixScratch<std::uint64_t> s1, s2;
+  for (int iter = 0; iter < 300; ++iter) {
+    auto v1 = sorted_random(rng, 1 + rng.next_below(8), 60);
+    auto l1 = sorted_random(rng, rng.next_below(9), 60);
+    auto r1 = sorted_random(rng, rng.next_below(9), 60);
+    if (l1.empty() && r1.empty()) continue;
+    auto v2 = v1;
+    auto l2 = l1;
+    auto r2 = r1;
+
+    const auto out1 =
+        fix_node(std::span<std::uint64_t>(v1), std::span<std::uint64_t>(l1),
+                 std::span<std::uint64_t>(r1), kNoGrand, kNoGrand, s1, Less{});
+
+    std::array<std::span<std::uint64_t>, 2> kids{std::span<std::uint64_t>(l2),
+                                                 std::span<std::uint64_t>(r2)};
+    std::array<const std::uint64_t*, 2> gms{nullptr, nullptr};
+    std::array<std::size_t, 2> taken{};
+    std::array<bool, 2> viol{};
+    fix_node_multi(std::span<std::uint64_t>(v2),
+                   std::span<std::span<std::uint64_t>>(kids),
+                   std::span<const std::uint64_t* const>(gms.data(), 2),
+                   std::span<std::size_t>(taken), std::span<bool>(viol), s2, Less{});
+
+    EXPECT_EQ(v1, v2) << "iter " << iter;
+    EXPECT_EQ(out1.taken_l, taken[0]);
+    EXPECT_EQ(out1.taken_r, taken[1]);
+  }
+}
+
+TEST(FixNodeMulti, FourChildrenBruteForce) {
+  Xoshiro256 rng(83);
+  FixScratch<std::uint64_t> s;
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t d = 2 + rng.next_below(5);  // 2..6 children
+    const std::size_t nv = 1 + rng.next_below(8);
+    auto v = sorted_random(rng, nv, 80);
+    std::vector<std::vector<std::uint64_t>> kids(d);
+    std::vector<std::uint64_t> all = v;
+    bool any = false;
+    for (auto& kid : kids) {
+      kid = sorted_random(rng, rng.next_below(9), 80);
+      any = any || !kid.empty();
+      all.insert(all.end(), kid.begin(), kid.end());
+    }
+    if (!any) continue;
+    std::sort(all.begin(), all.end());
+
+    std::vector<std::span<std::uint64_t>> spans;
+    for (auto& kid : kids) spans.emplace_back(kid);
+    std::vector<const std::uint64_t*> gms(d, nullptr);
+    std::vector<std::size_t> taken(d, 0);
+    // std::vector<bool> cannot form a span<bool>; use a flat array.
+    std::array<bool, 16> viol{};
+    fix_node_multi(std::span<std::uint64_t>(v),
+                   std::span<std::span<std::uint64_t>>(spans),
+                   std::span<const std::uint64_t* const>(gms.data(), d),
+                   std::span<std::size_t>(taken.data(), d),
+                   std::span<bool>(viol.data(), d), s, Less{});
+
+    EXPECT_TRUE(std::equal(v.begin(), v.end(), all.begin())) << "iter " << iter;
+    std::vector<std::uint64_t> now = v;
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_TRUE(std::is_sorted(kids[c].begin(), kids[c].end()));
+      if (!kids[c].empty()) {
+        EXPECT_LE(v.back(), kids[c].front());
+      }
+      now.insert(now.end(), kids[c].begin(), kids[c].end());
+    }
+    std::sort(now.begin(), now.end());
+    EXPECT_EQ(now, all);
+  }
+}
+
+}  // namespace
+}  // namespace ph

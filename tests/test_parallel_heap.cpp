@@ -1,0 +1,346 @@
+// Unit tests for the synchronous-maintenance ParallelHeap: construction,
+// batch semantics, edge cases, invariants, and the stats instrumentation.
+#include "core/parallel_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+using Heap = ParallelHeap<int>;
+
+std::vector<int> iota_vec(int n, int start = 0) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(ParallelHeap, StartsEmpty) {
+  Heap h(8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.num_nodes(), 0u);
+  EXPECT_EQ(h.levels(), 0u);
+  EXPECT_TRUE(h.check_invariants());
+}
+
+TEST(ParallelHeap, SingleItem) {
+  Heap h(4);
+  h.push(42);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_TRUE(h.check_invariants());
+  EXPECT_EQ(h.pop(), 42);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(ParallelHeap, RootBatchIsSortedPrefix) {
+  Heap h(4);
+  std::vector<int> in{9, 3, 7, 1, 5, 8, 2, 6, 4, 0};
+  h.insert_batch(in);
+  auto rb = h.root_batch();
+  ASSERT_EQ(rb.size(), 4u);
+  EXPECT_EQ(std::vector<int>(rb.begin(), rb.end()), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelHeap, InsertThenDrainIsSorted) {
+  Heap h(8);
+  Xoshiro256 rng(3);
+  std::vector<int> in(1000);
+  for (auto& x : in) x = static_cast<int>(rng.next_below(10000));
+  h.insert_batch(in);
+  EXPECT_EQ(h.size(), in.size());
+  EXPECT_TRUE(h.check_invariants());
+
+  std::vector<int> out;
+  const std::size_t got = h.delete_min_batch(in.size(), out);
+  EXPECT_EQ(got, in.size());
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(ParallelHeap, DeleteMoreThanSize) {
+  Heap h(4);
+  h.insert_batch(std::vector<int>{5, 1, 3});
+  std::vector<int> out;
+  EXPECT_EQ(h.delete_min_batch(100, out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(ParallelHeap, DeleteFromEmpty) {
+  Heap h(4);
+  std::vector<int> out;
+  EXPECT_EQ(h.delete_min_batch(10, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelHeap, InsertEmptyBatchIsNoop) {
+  Heap h(4);
+  h.insert_batch({});
+  EXPECT_TRUE(h.empty());
+  h.push(1);
+  h.insert_batch({});
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(ParallelHeap, CycleOnEmptyHeapDeletesFromNewItems) {
+  Heap h(4);
+  std::vector<int> out;
+  const std::size_t got = h.cycle(std::vector<int>{7, 2, 9, 4, 1}, 3, out);
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.check_invariants());
+}
+
+TEST(ParallelHeap, CycleDeletesGlobalMinOfHeapAndNewItems) {
+  Heap h(4);
+  h.insert_batch(iota_vec(32, 100));  // 100..131
+  std::vector<int> out;
+  // New items straddle the heap's content.
+  const std::size_t got = h.cycle(std::vector<int>{50, 105, 500}, 4, out);
+  EXPECT_EQ(got, 4u);
+  EXPECT_EQ(out, (std::vector<int>{50, 100, 101, 102}));
+  EXPECT_EQ(h.size(), 32u + 3u - 4u);
+  EXPECT_TRUE(h.check_invariants());
+}
+
+TEST(ParallelHeap, CycleWithZeroDeletesActsAsInsert) {
+  Heap h(4);
+  std::vector<int> out;
+  EXPECT_EQ(h.cycle(iota_vec(10), 0, out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(h.size(), 10u);
+  EXPECT_TRUE(h.check_invariants());
+}
+
+TEST(ParallelHeap, CycleShortFallOnlyWhenExhausted) {
+  Heap h(8);
+  h.insert_batch(std::vector<int>{1, 2});
+  std::vector<int> out;
+  EXPECT_EQ(h.cycle(std::vector<int>{3}, 8, out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(ParallelHeap, MinTracksGlobalMinimum) {
+  Heap h(4);
+  h.insert_batch(std::vector<int>{50, 60, 70});
+  EXPECT_EQ(h.min(), 50);
+  h.push(10);
+  EXPECT_EQ(h.min(), 10);
+  std::vector<int> out;
+  h.delete_min_batch(1, out);
+  EXPECT_EQ(h.min(), 50);
+}
+
+TEST(ParallelHeap, DuplicatesSurvive) {
+  Heap h(4);
+  std::vector<int> in(100, 7);
+  in.resize(150, 3);
+  h.insert_batch(in);
+  std::vector<int> out;
+  h.delete_min_batch(150, out);
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(out, in);
+}
+
+TEST(ParallelHeap, NodeCapacityOne) {
+  // r = 1 degenerates to a classic binary heap of single items.
+  Heap h(1);
+  std::vector<int> in{5, 3, 8, 1, 9, 2, 7};
+  h.insert_batch(in);
+  EXPECT_TRUE(h.check_invariants());
+  std::vector<int> out;
+  h.delete_min_batch(in.size(), out);
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(out, in);
+}
+
+TEST(ParallelHeap, LargeNodeCapacitySingleNode) {
+  Heap h(1024);
+  std::vector<int> in{4, 2, 9};
+  h.insert_batch(in);
+  EXPECT_EQ(h.num_nodes(), 1u);
+  std::vector<int> out;
+  h.delete_min_batch(3, out);
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 9}));
+}
+
+TEST(ParallelHeap, InterleavedGrowShrink) {
+  Heap h(8);
+  Xoshiro256 rng(17);
+  std::vector<int> out;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> in(rng.next_below(40));
+    for (auto& x : in) x = static_cast<int>(rng.next_below(1000));
+    h.insert_batch(in);
+    ASSERT_TRUE(h.check_invariants());
+    out.clear();
+    h.delete_min_batch(rng.next_below(40), out);
+    ASSERT_TRUE(h.check_invariants());
+    ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+TEST(ParallelHeap, DescendingInsertions) {
+  // Every insertion is a new global minimum — maximal insert-path work.
+  Heap h(4);
+  for (int i = 100; i > 0; --i) h.push(i);
+  ASSERT_TRUE(h.check_invariants());
+  std::vector<int> out;
+  h.delete_min_batch(100, out);
+  EXPECT_EQ(out, iota_vec(100, 1));
+}
+
+TEST(ParallelHeap, AscendingInsertions) {
+  Heap h(4);
+  for (int i = 0; i < 100; ++i) h.push(i);
+  ASSERT_TRUE(h.check_invariants());
+  std::vector<int> out;
+  h.delete_min_batch(100, out);
+  EXPECT_EQ(out, iota_vec(100));
+}
+
+TEST(ParallelHeap, ClearResets) {
+  Heap h(4);
+  h.insert_batch(iota_vec(100));
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.check_invariants());
+  h.push(5);
+  EXPECT_EQ(h.min(), 5);
+}
+
+TEST(ParallelHeap, SortedContentsMatches) {
+  Heap h(8);
+  Xoshiro256 rng(23);
+  std::vector<int> in(300);
+  for (auto& x : in) x = static_cast<int>(rng.next_below(500));
+  h.insert_batch(in);
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(h.sorted_contents(), in);
+}
+
+TEST(ParallelHeap, CustomComparatorMaxHeap) {
+  ParallelHeap<int, std::greater<int>> h(4);
+  h.insert_batch(std::vector<int>{3, 9, 1, 7});
+  EXPECT_EQ(h.min(), 9);  // "min" under greater<> is the max
+  std::vector<int> out;
+  h.delete_min_batch(4, out);
+  EXPECT_EQ(out, (std::vector<int>{9, 7, 3, 1}));
+}
+
+struct Event {
+  double ts;
+  std::uint32_t id;
+};
+struct EventCmp {
+  bool operator()(const Event& a, const Event& b) const { return a.ts < b.ts; }
+};
+
+TEST(ParallelHeap, StructPayloadsAndTieStability) {
+  ParallelHeap<Event, EventCmp> h(4);
+  std::vector<Event> in;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    in.push_back({static_cast<double>(i % 4), i});
+  }
+  h.insert_batch(in);
+  std::vector<Event> out;
+  h.delete_min_batch(64, out);
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_LE(out[i - 1].ts, out[i].ts);
+  // All 16 payloads per timestamp survive.
+  std::vector<int> per_ts(4, 0);
+  for (const auto& e : out) ++per_ts[static_cast<std::size_t>(e.ts)];
+  EXPECT_EQ(per_ts, (std::vector<int>{16, 16, 16, 16}));
+}
+
+TEST(ParallelHeap, LevelsGrowLogarithmically) {
+  Heap h(4);
+  h.insert_batch(iota_vec(4));  // 1 node
+  EXPECT_EQ(h.levels(), 1u);
+  h.insert_batch(iota_vec(8, 100));  // 3 nodes
+  EXPECT_EQ(h.levels(), 2u);
+  h.insert_batch(iota_vec(16, 200));  // 7 nodes
+  EXPECT_EQ(h.levels(), 3u);
+}
+
+TEST(ParallelHeap, StatsCountDeletesAndInserts) {
+  Heap h(8);
+  h.insert_batch(iota_vec(100));
+  std::vector<int> out;
+  h.delete_min_batch(40, out);
+  const HeapStats& s = h.stats();
+  EXPECT_EQ(s.items_inserted, 100u);
+  EXPECT_EQ(s.items_deleted, 40u);
+  EXPECT_GT(s.nodes_touched, 0u);
+  h.reset_stats();
+  EXPECT_EQ(h.stats().items_inserted, 0u);
+}
+
+TEST(ParallelHeap, SubstituteFetchHappensOnShrink) {
+  Heap h(4);
+  h.insert_batch(iota_vec(64));
+  std::vector<int> out;
+  h.delete_min_batch(32, out);  // pure deletions must pull tail substitutes
+  EXPECT_GT(h.stats().substitutes, 0u);
+  EXPECT_TRUE(h.check_invariants());
+}
+
+TEST(ParallelHeap, InvariantCheckerDetectsViolation) {
+  // White-box-ish: a freshly built heap passes; we can't corrupt internals
+  // through the public API, so instead check the error string plumbing on a
+  // valid heap (returns true, leaves `why` untouched).
+  Heap h(4);
+  h.insert_batch(iota_vec(20));
+  std::string why = "untouched";
+  EXPECT_TRUE(h.check_invariants(&why));
+  EXPECT_EQ(why, "untouched");
+}
+
+TEST(ParallelHeap, ReserveDoesNotChangeContent) {
+  Heap h(8);
+  h.insert_batch(iota_vec(10));
+  h.reserve(10000);
+  EXPECT_EQ(h.size(), 10u);
+  EXPECT_TRUE(h.check_invariants());
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(ParallelHeap, ManySmallCyclesMatchReference) {
+  // Steady-state simulation pattern: delete a batch, reinsert as many.
+  Heap h(16);
+  Xoshiro256 rng(29);
+  std::vector<int> in(256);
+  for (auto& x : in) x = static_cast<int>(rng.next_below(1 << 20));
+  h.insert_batch(in);
+  std::vector<int> out;
+  int last = -1;
+  for (int c = 0; c < 100; ++c) {
+    out.clear();
+    std::vector<int> fresh(16);
+    // Fresh items are strictly larger than anything deleted so far, so the
+    // deletion sequence must be globally non-decreasing.
+    for (auto& x : fresh) x = last + 1 + static_cast<int>(rng.next_below(1 << 20));
+    h.cycle(fresh, 16, out);
+    ASSERT_EQ(out.size(), 16u);
+    for (int v : out) {
+      ASSERT_LE(last, v);
+      last = v;
+    }
+    ASSERT_TRUE(h.check_invariants());
+  }
+}
+
+}  // namespace
+}  // namespace ph

@@ -1,0 +1,290 @@
+// Tests for the DES substrate: topology generation, the deterministic model,
+// and — most importantly — differential validation of every parallel
+// scheduler against the serial reference simulator (identical processed
+// counts and order-insensitive fingerprints).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/locked_pq.hpp"
+#include "baselines/pq_concepts.hpp"
+#include "core/parallel_heap.hpp"
+#include "core/pipelined_heap.hpp"
+#include "sim/engine_sim.hpp"
+#include "sim/local_sim.hpp"
+#include "sim/model.hpp"
+#include "sim/network.hpp"
+#include "sim/serial_sim.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace ph::sim {
+namespace {
+
+TEST(Topology, TorusShape) {
+  const Topology t = make_torus(3, 4);
+  EXPECT_EQ(t.num_lps, 12u);
+  EXPECT_EQ(t.out_degree, 2u);
+  // LP (0,0)=0 sends right to (0,1)=1 and up to (1,0)=4.
+  EXPECT_EQ(t.out(0)[0], 1u);
+  EXPECT_EQ(t.out(0)[1], 4u);
+  // Wrap-around: LP (2,3)=11 sends right to (2,0)=8 and up to (0,3)=3.
+  EXPECT_EQ(t.out(11)[0], 8u);
+  EXPECT_EQ(t.out(11)[1], 3u);
+}
+
+TEST(Topology, TorusEveryLpHasTwoInEdges) {
+  const Topology t = make_torus(8, 8);
+  std::vector<int> indeg(t.num_lps, 0);
+  for (std::size_t lp = 0; lp < t.num_lps; ++lp) {
+    for (auto d : t.out(lp)) ++indeg[d];
+  }
+  for (int d : indeg) EXPECT_EQ(d, 2);
+}
+
+TEST(Topology, RandomNetworkValid) {
+  const Topology t = make_random_network(100, 4, 7);
+  EXPECT_EQ(t.num_lps, 100u);
+  EXPECT_EQ(t.out_degree, 4u);
+  for (std::size_t lp = 0; lp < t.num_lps; ++lp) {
+    for (auto d : t.out(lp)) {
+      EXPECT_LT(d, 100u);
+      EXPECT_NE(d, lp);  // no self-loops
+    }
+  }
+}
+
+TEST(Topology, RandomNetworkDeterministicInSeed) {
+  const Topology a = make_random_network(50, 2, 9);
+  const Topology b = make_random_network(50, 2, 9);
+  const Topology c = make_random_network(50, 2, 10);
+  EXPECT_EQ(a.out_edges, b.out_edges);
+  EXPECT_NE(a.out_edges, c.out_edges);
+}
+
+ModelConfig small_model_cfg(std::uint64_t seed = 3) {
+  ModelConfig mc;
+  mc.seed = seed;
+  mc.min_service = 0.05;
+  mc.max_service = 5.0;
+  mc.hot_fraction = 0.1;
+  return mc;
+}
+
+TEST(Model, ServiceTimesInRangeAndHotFractionRoughlyRight) {
+  const Topology t = make_torus(32, 32);
+  const Model m(t, small_model_cfg());
+  int hot = 0;
+  for (std::uint32_t lp = 0; lp < t.num_lps; ++lp) {
+    const double s = m.service_of(lp);
+    EXPECT_GE(s, m.config().min_service);
+    EXPECT_LE(s, m.config().max_service);
+    if (s == m.config().min_service) ++hot;
+  }
+  EXPECT_GT(hot, 50);   // ~102 expected of 1024
+  EXPECT_LT(hot, 160);
+  EXPECT_DOUBLE_EQ(m.lookahead(), 0.05);
+}
+
+TEST(Model, HandleIsPureAndAdvancesTime) {
+  const Topology t = make_torus(4, 4);
+  const Model m(t, small_model_cfg());
+  const Event e{1.5, 3, 0, 12345};
+  const Event c1 = m.handle(e);
+  const Event c2 = m.handle(e);
+  EXPECT_EQ(c1.ts, c2.ts);
+  EXPECT_EQ(c1.lp, c2.lp);
+  EXPECT_EQ(c1.tag, c2.tag);
+  EXPECT_GE(c1.ts, e.ts + m.lookahead());
+  EXPECT_EQ(c1.hop, 1u);
+  // Destination is one of e.lp's out-neighbours.
+  const auto out = t.out(e.lp);
+  EXPECT_TRUE(c1.lp == out[0] || c1.lp == out[1]);
+}
+
+TEST(Model, InitialEventsOnePerLpBeforeOneService) {
+  const Topology t = make_torus(4, 4);
+  const Model m(t, small_model_cfg());
+  const auto init = m.initial_events();
+  ASSERT_EQ(init.size(), 16u);
+  std::set<std::uint32_t> lps;
+  for (const Event& e : init) {
+    lps.insert(e.lp);
+    EXPECT_LT(e.ts, m.config().max_service);
+  }
+  EXPECT_EQ(lps.size(), 16u);
+}
+
+TEST(SerialSim, DeterministicAndProgresses) {
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult a = run_serial_sim(m, 50.0);
+  const SimResult b = run_serial_sim(m, 50.0);
+  EXPECT_GT(a.processed, t.num_lps);  // many generations fit in the horizon
+  EXPECT_TRUE(a.same_outcome(b));
+  EXPECT_LT(a.max_clock, 50.0);
+}
+
+// --- differential suite: every scheduler must match the serial reference ---
+
+struct SchedulerCase {
+  const char* name;
+  std::size_t batch;
+};
+
+class SyncSimVsSerial : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyncSimVsSerial, ParallelHeapGlobalQueue) {
+  const std::size_t batch = GetParam();
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult want = run_serial_sim(m, 40.0);
+  ParallelHeap<Event, EventOrder> q(batch);
+  const SimResult got = run_sync_sim(q, m, 40.0, batch);
+  EXPECT_TRUE(got.same_outcome(want))
+      << "processed " << got.processed << " vs " << want.processed;
+  EXPECT_EQ(got.max_clock, want.max_clock);
+}
+
+TEST_P(SyncSimVsSerial, PipelinedParallelHeapGlobalQueue) {
+  const std::size_t batch = GetParam();
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult want = run_serial_sim(m, 40.0);
+  PipelinedParallelHeap<Event, EventOrder> q(batch);
+  const SimResult got = run_sync_sim(q, m, 40.0, batch);
+  EXPECT_TRUE(got.same_outcome(want));
+}
+
+TEST_P(SyncSimVsSerial, LockedBinaryHeapGlobalQueue) {
+  const std::size_t batch = GetParam();
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult want = run_serial_sim(m, 40.0);
+  LockedPQ<BinaryHeap<Event, EventOrder>, Event> q;
+  const SimResult got = run_sync_sim(q, m, 40.0, batch);
+  EXPECT_TRUE(got.same_outcome(want));
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSweep, SyncSimVsSerial,
+                         ::testing::Values(1, 2, 4, 16, 64, 256),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
+
+TEST(SyncSim, WindowDefersFutureEvents) {
+  // With a large batch, most deleted events fall outside GVT+lookahead and
+  // must be deferred, not dropped or mis-handled.
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  ParallelHeap<Event, EventOrder> q(256);
+  const SimResult got = run_sync_sim(q, m, 30.0, 256);
+  EXPECT_GT(got.deferred, 0u);
+  const SimResult want = run_serial_sim(m, 30.0);
+  EXPECT_TRUE(got.same_outcome(want));
+}
+
+TEST(SyncSim, RandomNetworkMatchesSerial) {
+  const Topology t = make_random_network(128, 2, 21);
+  const Model m(t, small_model_cfg(5));
+  const SimResult want = run_serial_sim(m, 30.0);
+  ParallelHeap<Event, EventOrder> q(64);
+  const SimResult got = run_sync_sim(q, m, 30.0, 64);
+  EXPECT_TRUE(got.same_outcome(want));
+}
+
+class EngineSimVsSerial : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineSimVsSerial, TorusMatchesSerial) {
+  const unsigned threads = GetParam();
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult want = run_serial_sim(m, 30.0);
+  EngineSimConfig cfg;
+  cfg.node_capacity = 64;
+  cfg.think_threads = threads;
+  const EngineSimResult got = run_engine_sim(m, 30.0, cfg);
+  EXPECT_TRUE(got.sim.same_outcome(want))
+      << "processed " << got.sim.processed << " vs " << want.processed;
+}
+
+TEST_P(EngineSimVsSerial, RandomNetworkWithMaintenanceTeam) {
+  const unsigned threads = GetParam();
+  const Topology t = make_random_network(100, 3, 33);
+  const Model m(t, small_model_cfg(8));
+  const SimResult want = run_serial_sim(m, 25.0);
+  EngineSimConfig cfg;
+  cfg.node_capacity = 32;
+  cfg.think_threads = threads;
+  cfg.maintenance_threads = 2;
+  const EngineSimResult got = run_engine_sim(m, 25.0, cfg);
+  EXPECT_TRUE(got.sim.same_outcome(want));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, EngineSimVsSerial,
+                         ::testing::Values(0u, 1u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+class LocalSimVsSerial
+    : public ::testing::TestWithParam<std::pair<unsigned, LocalSimMode>> {};
+
+TEST_P(LocalSimVsSerial, OutcomeExactViolationsCounted) {
+  const auto [threads, mode] = GetParam();
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  const SimResult want = run_serial_sim(m, 25.0);
+  LocalSimConfig cfg;
+  cfg.threads = threads;
+  cfg.mode = mode;
+  const SimResult got = run_local_sim(m, 25.0, cfg);
+  // Handlers are order-independent, so even the relaxed schedule produces
+  // the same outcome; only the causality-violation count differs.
+  EXPECT_TRUE(got.same_outcome(want))
+      << "processed " << got.processed << " vs " << want.processed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalSimVsSerial,
+    ::testing::Values(std::pair<unsigned, LocalSimMode>{1, LocalSimMode::kAffinity},
+                      std::pair<unsigned, LocalSimMode>{2, LocalSimMode::kAffinity},
+                      std::pair<unsigned, LocalSimMode>{4, LocalSimMode::kAffinity},
+                      std::pair<unsigned, LocalSimMode>{2, LocalSimMode::kDistributed},
+                      std::pair<unsigned, LocalSimMode>{4, LocalSimMode::kDistributed}),
+    [](const ::testing::TestParamInfo<std::pair<unsigned, LocalSimMode>>& info) {
+      return std::string(info.param.second == LocalSimMode::kAffinity ? "affinity"
+                                                                      : "distributed") +
+             std::to_string(info.param.first);
+    });
+
+TEST(LocalSim, SingleThreadAffinityHasNoViolations) {
+  // One worker popping a single global-order queue cannot regress LP clocks.
+  const Topology t = make_torus(6, 6);
+  const Model m(t, small_model_cfg());
+  LocalSimConfig cfg;
+  cfg.threads = 1;
+  const SimResult got = run_local_sim(m, 25.0, cfg);
+  EXPECT_EQ(got.violations, 0u);
+}
+
+TEST(EngineSim, ConservativeWindowNeverViolates) {
+  // By construction the window simulator has no causality violations; check
+  // the invariant the window guarantees: every processed event's timestamp
+  // is within lookahead of its cycle's GVT — indirectly, deferrals happen
+  // but outcome matches serial (covered above); here check deferral stats
+  // exist for a large batch.
+  const Topology t = make_torus(8, 8);
+  const Model m(t, small_model_cfg());
+  EngineSimConfig cfg;
+  cfg.node_capacity = 256;
+  cfg.think_threads = 2;
+  const EngineSimResult got = run_engine_sim(m, 25.0, cfg);
+  EXPECT_GT(got.sim.deferred, 0u);
+  EXPECT_EQ(got.sim.violations, 0u);
+}
+
+}  // namespace
+}  // namespace ph::sim

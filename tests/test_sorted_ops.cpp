@@ -1,0 +1,209 @@
+// Unit tests for the sorted-run kernels that underlie all heap maintenance.
+#include "core/sorted_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ph {
+namespace {
+
+using Less = std::less<int>;
+
+std::vector<int> random_sorted(Xoshiro256& rng, std::size_t n, int bound) {
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(bound)));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SortedOps, IsSortedRun) {
+  std::vector<int> empty;
+  EXPECT_TRUE(is_sorted_run(std::span<const int>(empty), Less{}));
+  std::vector<int> one{42};
+  EXPECT_TRUE(is_sorted_run(std::span<const int>(one), Less{}));
+  std::vector<int> asc{1, 2, 2, 3};
+  EXPECT_TRUE(is_sorted_run(std::span<const int>(asc), Less{}));
+  std::vector<int> desc{3, 2};
+  EXPECT_FALSE(is_sorted_run(std::span<const int>(desc), Less{}));
+}
+
+TEST(SortedOps, Merge2Basic) {
+  std::vector<int> a{1, 3, 5}, b{2, 4, 6}, out;
+  merge2(std::span<const int>(a), std::span<const int>(b), out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SortedOps, Merge2EmptySides) {
+  std::vector<int> a{1, 2}, empty, out;
+  merge2(std::span<const int>(a), std::span<const int>(empty), out, Less{});
+  EXPECT_EQ(out, a);
+  out.clear();
+  merge2(std::span<const int>(empty), std::span<const int>(a), out, Less{});
+  EXPECT_EQ(out, a);
+  out.clear();
+  merge2(std::span<const int>(empty), std::span<const int>(empty), out, Less{});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SortedOps, Merge2StabilityPrefersFirstRun) {
+  // Equal keys: run `a`'s copies must precede run `b`'s. Verified via a
+  // keyed struct.
+  struct Tagged {
+    int key;
+    char tag;
+  };
+  auto cmp = [](const Tagged& x, const Tagged& y) { return x.key < y.key; };
+  std::vector<Tagged> a{{1, 'a'}, {2, 'a'}}, b{{1, 'b'}, {2, 'b'}}, out;
+  merge2(std::span<const Tagged>(a), std::span<const Tagged>(b), out, cmp);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].tag, 'a');
+  EXPECT_EQ(out[1].tag, 'b');
+  EXPECT_EQ(out[2].tag, 'a');
+  EXPECT_EQ(out[3].tag, 'b');
+}
+
+TEST(SortedOps, Merge2Appends) {
+  std::vector<int> a{5}, b{6}, out{0};
+  merge2(std::span<const int>(a), std::span<const int>(b), out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{0, 5, 6}));
+}
+
+TEST(SortedOps, Merge2Randomized) {
+  Xoshiro256 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto a = random_sorted(rng, rng.next_below(64), 100);
+    auto b = random_sorted(rng, rng.next_below(64), 100);
+    std::vector<int> out;
+    merge2(std::span<const int>(a), std::span<const int>(b), out, Less{});
+    std::vector<int> want = a;
+    want.insert(want.end(), b.begin(), b.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(out, want);
+  }
+}
+
+TEST(SortedOps, SelectSmallest3Basic) {
+  std::vector<int> a{10, 20}, b{1, 30}, c{5, 6, 7}, out;
+  const Take3 t = select_smallest3(std::span<const int>(a), std::span<const int>(b),
+                                   std::span<const int>(c), 4, out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{1, 5, 6, 7}));
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 1u);
+  EXPECT_EQ(t[2], 3u);
+}
+
+TEST(SortedOps, SelectSmallest3TakesWholeUnion) {
+  std::vector<int> a{2}, b{1}, c{3}, out;
+  const Take3 t = select_smallest3(std::span<const int>(a), std::span<const int>(b),
+                                   std::span<const int>(c), 3, out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t[0] + t[1] + t[2], 3u);
+}
+
+TEST(SortedOps, SelectSmallest3ZeroK) {
+  std::vector<int> a{2}, b{1}, c{3}, out;
+  const Take3 t = select_smallest3(std::span<const int>(a), std::span<const int>(b),
+                                   std::span<const int>(c), 0, out, Less{});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(t, (Take3{0, 0, 0}));
+}
+
+TEST(SortedOps, SelectSmallest3TieBreaksByRunOrder) {
+  std::vector<int> a{5}, b{5}, c{5}, out;
+  const Take3 t = select_smallest3(std::span<const int>(a), std::span<const int>(b),
+                                   std::span<const int>(c), 2, out, Less{});
+  // Ties resolve a-then-b-then-c.
+  EXPECT_EQ(t, (Take3{1, 1, 0}));
+}
+
+TEST(SortedOps, SelectSmallest3Randomized) {
+  Xoshiro256 rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto a = random_sorted(rng, rng.next_below(32), 50);
+    auto b = random_sorted(rng, rng.next_below(32), 50);
+    auto c = random_sorted(rng, rng.next_below(32), 50);
+    const std::size_t total = a.size() + b.size() + c.size();
+    const std::size_t k = rng.next_below(total + 1);
+    std::vector<int> out;
+    const Take3 t = select_smallest3(std::span<const int>(a), std::span<const int>(b),
+                                     std::span<const int>(c), k, out, Less{});
+    ASSERT_EQ(out.size(), k);
+    ASSERT_EQ(t[0] + t[1] + t[2], k);
+    EXPECT_TRUE(is_sorted_run(std::span<const int>(out), Less{}));
+    std::vector<int> want = a;
+    want.insert(want.end(), b.begin(), b.end());
+    want.insert(want.end(), c.begin(), c.end());
+    std::sort(want.begin(), want.end());
+    want.resize(k);
+    EXPECT_EQ(out, want);
+    // The taken counts must be prefixes whose union is the selection.
+    EXPECT_LE(t[0], a.size());
+    EXPECT_LE(t[1], b.size());
+    EXPECT_LE(t[2], c.size());
+  }
+}
+
+TEST(SortedOps, Merge2SplitBasic) {
+  std::vector<int> a{1, 4, 9}, b{2, 3, 10}, kept, rest;
+  merge2_split(std::span<const int>(a), std::span<const int>(b), 3, kept, rest, Less{});
+  EXPECT_EQ(kept, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(rest, (std::vector<int>{4, 9, 10}));
+}
+
+TEST(SortedOps, Merge2SplitKeepAll) {
+  std::vector<int> a{1}, b{2}, kept, rest;
+  merge2_split(std::span<const int>(a), std::span<const int>(b), 2, kept, rest, Less{});
+  EXPECT_EQ(kept, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(SortedOps, Merge2SplitKeepNone) {
+  std::vector<int> a{1}, b{2}, kept, rest;
+  merge2_split(std::span<const int>(a), std::span<const int>(b), 0, kept, rest, Less{});
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(rest, (std::vector<int>{1, 2}));
+}
+
+TEST(SortedOps, Merge2SplitRandomized) {
+  Xoshiro256 rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto a = random_sorted(rng, rng.next_below(48), 64);
+    auto b = random_sorted(rng, rng.next_below(48), 64);
+    const std::size_t keep = rng.next_below(a.size() + b.size() + 1);
+    std::vector<int> kept, rest;
+    merge2_split(std::span<const int>(a), std::span<const int>(b), keep, kept, rest,
+                 Less{});
+    EXPECT_EQ(kept.size(), keep);
+    EXPECT_EQ(kept.size() + rest.size(), a.size() + b.size());
+    EXPECT_TRUE(is_sorted_run(std::span<const int>(kept), Less{}));
+    EXPECT_TRUE(is_sorted_run(std::span<const int>(rest), Less{}));
+    if (!kept.empty() && !rest.empty()) {
+      EXPECT_LE(kept.back(), rest.front());
+    }
+  }
+}
+
+TEST(SortedOps, MergeKBasic) {
+  std::vector<int> r1{1, 5}, r2{2, 6}, r3{0, 9}, out;
+  std::vector<std::span<const int>> runs{std::span<const int>(r1),
+                                         std::span<const int>(r2),
+                                         std::span<const int>(r3)};
+  merge_k(std::span<const std::span<const int>>(runs), out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 5, 6, 9}));
+}
+
+TEST(SortedOps, MergeKSingleAndEmptyRuns) {
+  std::vector<int> r1{3, 4}, r2, out;
+  std::vector<std::span<const int>> runs{std::span<const int>(r1),
+                                         std::span<const int>(r2)};
+  merge_k(std::span<const std::span<const int>>(runs), out, Less{});
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+}
+
+}  // namespace
+}  // namespace ph

@@ -1,0 +1,86 @@
+// Tests for the extra LP network topologies and their use under the
+// simulators (each must remain differential-exact vs the serial reference).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "core/parallel_heap.hpp"
+#include "sim/model.hpp"
+#include "sim/network.hpp"
+#include "sim/serial_sim.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace ph::sim {
+namespace {
+
+TEST(Ring, ChainStructure) {
+  const Topology t = make_ring(5);
+  EXPECT_EQ(t.num_lps, 5u);
+  EXPECT_EQ(t.out_degree, 1u);
+  for (std::size_t lp = 0; lp < 5; ++lp) {
+    EXPECT_EQ(t.out(lp)[0], (lp + 1) % 5);
+  }
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  const Topology t = make_hypercube(4);
+  EXPECT_EQ(t.num_lps, 16u);
+  EXPECT_EQ(t.out_degree, 4u);
+  for (std::size_t lp = 0; lp < 16; ++lp) {
+    std::set<std::uint32_t> nbrs;
+    for (auto d : t.out(lp)) {
+      const std::uint32_t diff = static_cast<std::uint32_t>(lp) ^ d;
+      EXPECT_EQ(diff & (diff - 1), 0u) << "not a power of two";
+      EXPECT_NE(diff, 0u);
+      nbrs.insert(d);
+    }
+    EXPECT_EQ(nbrs.size(), 4u);
+  }
+}
+
+TEST(KaryTree, ChildrenIndices) {
+  const Topology t = make_kary_tree(10, 3);
+  EXPECT_EQ(t.out_degree, 3u);
+  EXPECT_EQ(t.out(0)[0], 1u);
+  EXPECT_EQ(t.out(0)[1], 2u);
+  EXPECT_EQ(t.out(0)[2], 3u);
+  EXPECT_EQ(t.out(1)[0], 4u);
+  // Overflow wraps into range.
+  for (auto d : t.out(9)) EXPECT_LT(d, 10u);
+}
+
+class TopologySim : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologySim, SyncSimExactOnAllTopologies) {
+  Topology topo;
+  switch (GetParam()) {
+    case 0: topo = make_ring(64); break;
+    case 1: topo = make_hypercube(6); break;
+    case 2: topo = make_kary_tree(100, 3); break;
+    default: topo = make_torus(8, 8); break;
+  }
+  ModelConfig mc;
+  mc.seed = 17;
+  const Model m(topo, mc);
+  const SimResult want = run_serial_sim(m, 25.0);
+  EXPECT_GT(want.processed, topo.num_lps);
+  ParallelHeap<Event, EventOrder> q(32);
+  const SimResult got = run_sync_sim(q, m, 25.0, 32);
+  EXPECT_TRUE(got.same_outcome(want));
+}
+
+std::string topology_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "ring";
+    case 1: return "hypercube";
+    case 2: return "kary";
+    default: return "torus";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TopologySim, ::testing::Values(0, 1, 2, 3),
+                         topology_name);
+
+}  // namespace
+}  // namespace ph::sim

@@ -1,0 +1,185 @@
+// Tests for the threading/instrumentation substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ph {
+namespace {
+
+TEST(Spinlock, MutualExclusionCounts) {
+  Spinlock lock;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SenseBarrier, SynchronizesPhases) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kPhases = 100;
+  SenseBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<int> observed(kThreads, 0);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      bool sense = false;
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait(sense);
+        // After the barrier, all kThreads increments of this phase are done.
+        const int seen = phase_counter.load(std::memory_order_relaxed);
+        EXPECT_GE(seen, (p + 1) * static_cast<int>(kThreads));
+        barrier.arrive_and_wait(sense);
+        observed[t] = p;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(barrier.crossings(), 2u * kPhases);
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_EQ(observed[t], kPhases - 1);
+}
+
+TEST(ThreadTeam, RunsOnAllMembers) {
+  ThreadTeam team(4);
+  std::vector<Padded<int>> hits(4);
+  team.run([&](unsigned tid) { hits[tid].value = static_cast<int>(tid) + 1; });
+  for (unsigned t = 0; t < 4; ++t) EXPECT_EQ(hits[t].value, static_cast<int>(t) + 1);
+}
+
+TEST(ThreadTeam, RepeatedPhases) {
+  ThreadTeam team(3);
+  std::atomic<int> total{0};
+  for (int p = 0; p < 200; ++p) {
+    team.run([&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadTeam, ParallelForCoversRange) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(1000);
+  team.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, ParallelForEmptyRange) {
+  ThreadTeam team(2);
+  team.parallel_for(5, 5, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Xoshiro256 root(5);
+  Xoshiro256 a = root.split(0);
+  Xoshiro256 b = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Xoshiro256 rng(9);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (int b = 0; b < 10; ++b) EXPECT_GT(seen[b], 500);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Xoshiro256 rng(31);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, Pow2HistogramBuckets) {
+  Pow2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1000);
+  EXPECT_EQ(h.total(), 6u);
+  const auto& b = h.buckets();
+  ASSERT_GE(b.size(), 11u);
+  EXPECT_EQ(b[0], 2u);  // 0 and 1
+  EXPECT_EQ(b[1], 1u);  // 2
+  EXPECT_EQ(b[2], 2u);  // 3..4
+  EXPECT_EQ(b[10], 1u); // 513..1024
+}
+
+TEST(Stats, SummaryTracksMinMaxMean) {
+  Summary s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RegistryAccumulates) {
+  StatRegistry reg;
+  reg.add("x", 3);
+  reg.add("x", 4);
+  reg.add("y", 1);
+  EXPECT_EQ(reg.get("x"), 7u);
+  EXPECT_EQ(reg.get("y"), 1u);
+  EXPECT_EQ(reg.get("missing"), 0u);
+  EXPECT_EQ(reg.to_string(), "x=7 y=1");
+}
+
+}  // namespace
+}  // namespace ph
