@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arity.dir/bench_arity.cpp.o"
+  "CMakeFiles/bench_arity.dir/bench_arity.cpp.o.d"
+  "bench_arity"
+  "bench_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

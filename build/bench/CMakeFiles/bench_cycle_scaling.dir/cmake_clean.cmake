@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_scaling.dir/bench_cycle_scaling.cpp.o"
+  "CMakeFiles/bench_cycle_scaling.dir/bench_cycle_scaling.cpp.o.d"
+  "bench_cycle_scaling"
+  "bench_cycle_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

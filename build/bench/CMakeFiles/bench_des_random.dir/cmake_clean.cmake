@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des_random.dir/bench_des_random.cpp.o"
+  "CMakeFiles/bench_des_random.dir/bench_des_random.cpp.o.d"
+  "bench_des_random"
+  "bench_des_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des_torus.dir/bench_des_torus.cpp.o"
+  "CMakeFiles/bench_des_torus.dir/bench_des_torus.cpp.o.d"
+  "bench_des_torus"
+  "bench_des_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

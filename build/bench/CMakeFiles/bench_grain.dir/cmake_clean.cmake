@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grain.dir/bench_grain.cpp.o"
+  "CMakeFiles/bench_grain.dir/bench_grain.cpp.o.d"
+  "bench_grain"
+  "bench_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hold.dir/bench_hold.cpp.o"
+  "CMakeFiles/bench_hold.dir/bench_hold.cpp.o.d"
+  "bench_hold"
+  "bench_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_size.dir/bench_node_size.cpp.o"
+  "CMakeFiles/bench_node_size.dir/bench_node_size.cpp.o.d"
+  "bench_node_size"
+  "bench_node_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

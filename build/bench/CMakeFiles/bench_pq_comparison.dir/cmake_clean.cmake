@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pq_comparison.dir/bench_pq_comparison.cpp.o"
+  "CMakeFiles/bench_pq_comparison.dir/bench_pq_comparison.cpp.o.d"
+  "bench_pq_comparison"
+  "bench_pq_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pq_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

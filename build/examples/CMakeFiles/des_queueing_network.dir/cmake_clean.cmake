@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_queueing_network.dir/des_queueing_network.cpp.o"
+  "CMakeFiles/des_queueing_network.dir/des_queueing_network.cpp.o.d"
+  "des_queueing_network"
+  "des_queueing_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_queueing_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sssp.dir/parallel_sssp.cpp.o"
+  "CMakeFiles/parallel_sssp.dir/parallel_sssp.cpp.o.d"
+  "parallel_sssp"
+  "parallel_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_merge.dir/topk_merge.cpp.o"
+  "CMakeFiles/topk_merge.dir/topk_merge.cpp.o.d"
+  "topk_merge"
+  "topk_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ph_lib.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ph_lib.dir/sim/network.cpp.o.d"
+  "/root/repo/src/util/affinity.cpp" "src/CMakeFiles/ph_lib.dir/util/affinity.cpp.o" "gcc" "src/CMakeFiles/ph_lib.dir/util/affinity.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ph_lib.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ph_lib.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_lib.dir/sim/network.cpp.o"
+  "CMakeFiles/ph_lib.dir/sim/network.cpp.o.d"
+  "CMakeFiles/ph_lib.dir/util/affinity.cpp.o"
+  "CMakeFiles/ph_lib.dir/util/affinity.cpp.o.d"
+  "CMakeFiles/ph_lib.dir/util/stats.cpp.o"
+  "CMakeFiles/ph_lib.dir/util/stats.cpp.o.d"
+  "libph_lib.a"
+  "libph_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

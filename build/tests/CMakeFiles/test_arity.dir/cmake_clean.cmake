@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arity.dir/test_arity.cpp.o"
+  "CMakeFiles/test_arity.dir/test_arity.cpp.o.d"
+  "test_arity"
+  "test_arity.pdb"
+  "test_arity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_heap.dir/test_concurrent_heap.cpp.o"
+  "CMakeFiles/test_concurrent_heap.dir/test_concurrent_heap.cpp.o.d"
+  "test_concurrent_heap"
+  "test_concurrent_heap.pdb"
+  "test_concurrent_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

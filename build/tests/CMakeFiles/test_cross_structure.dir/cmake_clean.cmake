@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_structure.dir/test_cross_structure.cpp.o"
+  "CMakeFiles/test_cross_structure.dir/test_cross_structure.cpp.o.d"
+  "test_cross_structure"
+  "test_cross_structure.pdb"
+  "test_cross_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_fix.dir/test_node_fix.cpp.o"
+  "CMakeFiles/test_node_fix.dir/test_node_fix.cpp.o.d"
+  "test_node_fix"
+  "test_node_fix.pdb"
+  "test_node_fix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_heap.dir/test_parallel_heap.cpp.o"
+  "CMakeFiles/test_parallel_heap.dir/test_parallel_heap.cpp.o.d"
+  "test_parallel_heap"
+  "test_parallel_heap.pdb"
+  "test_parallel_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelined_edges.dir/test_pipelined_edges.cpp.o"
+  "CMakeFiles/test_pipelined_edges.dir/test_pipelined_edges.cpp.o.d"
+  "test_pipelined_edges"
+  "test_pipelined_edges.pdb"
+  "test_pipelined_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelined_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelined_heap.dir/test_pipelined_heap.cpp.o"
+  "CMakeFiles/test_pipelined_heap.dir/test_pipelined_heap.cpp.o.d"
+  "test_pipelined_heap"
+  "test_pipelined_heap.pdb"
+  "test_pipelined_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelined_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorted_ops.dir/test_sorted_ops.cpp.o"
+  "CMakeFiles/test_sorted_ops.dir/test_sorted_ops.cpp.o.d"
+  "test_sorted_ops"
+  "test_sorted_ops.pdb"
+  "test_sorted_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorted_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

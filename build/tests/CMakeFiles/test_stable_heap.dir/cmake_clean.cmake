@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stable_heap.dir/test_stable_heap.cpp.o"
+  "CMakeFiles/test_stable_heap.dir/test_stable_heap.cpp.o.d"
+  "test_stable_heap"
+  "test_stable_heap.pdb"
+  "test_stable_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stable_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sorted_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_heap_property[1]_include.cmake")
+include("/root/repo/build/tests/test_pipelined_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_node_fix[1]_include.cmake")
+include("/root/repo/build/tests/test_stable_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_arity[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_structure[1]_include.cmake")
+include("/root/repo/build/tests/test_window[1]_include.cmake")
+include("/root/repo/build/tests/test_pipelined_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
