@@ -5,18 +5,49 @@
 // hardware-independent counters that carry the scalability shape on hosts
 // where wall-clock speedup cannot manifest (see DESIGN.md). Keep output
 // grep-friendly: one "row," prefix per data point.
+//
+// Machine-readable output: every binary additionally understands
+//   --json <file>    merged telemetry metrics (counters + per-phase latency
+//                    percentiles) as one JSON document
+//   --trace <file>   Chrome trace_event JSON of the run's per-thread phase
+//                    spans (open in https://ui.perfetto.dev)
+// parse_args() strips these before the binary's own argument handling and
+// registers an atexit hook, so rows stay on stdout and the files appear on
+// any exit path. Benches can attach scalar results to the JSON document via
+// json_metric().
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace ph::bench {
 
-inline void header(const char* experiment, const char* claim) {
-  std::printf("\n=== %s ===\n--- %s\n", experiment, claim);
+struct OutputConfig {
+  std::string json_path;
+  std::string trace_path;
+  std::string experiment;  ///< last header() line, embedded in the JSON
+  std::vector<std::pair<std::string, double>> metrics;  ///< json_metric() rows
+};
+
+inline OutputConfig& output() {
+  static OutputConfig cfg;
+  return cfg;
 }
 
-inline void columns(const char* fmt, ...) {
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n--- %s\n", experiment, claim);
+  output().experiment = experiment;
+}
+
+[[gnu::format(printf, 1, 2)]] inline void columns(const char* fmt, ...) {
   std::printf("cols,");
   va_list args;
   va_start(args, fmt);
@@ -25,7 +56,7 @@ inline void columns(const char* fmt, ...) {
   std::printf("\n");
 }
 
-inline void row(const char* fmt, ...) {
+[[gnu::format(printf, 1, 2)]] inline void row(const char* fmt, ...) {
   std::printf("row,");
   va_list args;
   va_start(args, fmt);
@@ -34,13 +65,104 @@ inline void row(const char* fmt, ...) {
   std::printf("\n");
 }
 
-inline void note(const char* fmt, ...) {
+[[gnu::format(printf, 1, 2)]] inline void note(const char* fmt, ...) {
   std::printf("note,");
   va_list args;
   va_start(args, fmt);
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// Attaches a named scalar to the --json document's "bench" section.
+inline void json_metric(std::string name, double value) {
+  output().metrics.emplace_back(std::move(name), value);
+}
+
+/// Writes the requested --json / --trace files. Installed atexit by
+/// parse_args(); idempotent only in the sense that it rewrites the files.
+inline void finish() {
+  OutputConfig& cfg = output();
+  if (!cfg.json_path.empty()) {
+    std::ofstream os(cfg.json_path);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open --json file %s\n",
+                   cfg.json_path.c_str());
+    } else {
+      telemetry::JsonWriter w(os);
+      w.begin_object();
+      w.kv("experiment", cfg.experiment);
+      w.kv("telemetry_enabled", telemetry::kEnabled);
+      w.key("bench").begin_object();
+      for (const auto& [name, value] : cfg.metrics) w.kv(name, value);
+      w.end_object();
+      w.key("telemetry");
+      telemetry::Registry::instance().collect().write_json(w);
+      w.end_object();
+      os << '\n';
+    }
+  }
+  if (!cfg.trace_path.empty()) {
+    std::ofstream os(cfg.trace_path);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open --trace file %s\n",
+                   cfg.trace_path.c_str());
+    } else {
+      telemetry::write_chrome_trace(os);
+      os << '\n';
+    }
+  }
+}
+
+/// Strips "--json <file>"/"--json=<file>" and "--trace <file>"/"--trace=<file>"
+/// from argv (so they compose with google-benchmark's own flags) and arranges
+/// for finish() to run at exit.
+inline void parse_args(int& argc, char** argv) {
+  auto take = [&](int& i, const char* flag, std::string& dst) -> bool {
+    const std::size_t len = std::strlen(flag);
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench: %s requires a file argument\n", flag);
+        std::exit(2);
+      }
+      dst = argv[i + 1];
+      i += 2;
+      return true;
+    }
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      dst = argv[i] + len + 1;
+      i += 1;
+      return true;
+    }
+    return false;
+  };
+
+  int out = 1;
+  int i = 1;
+  while (i < argc) {
+    if (take(i, "--json", output().json_path)) continue;
+    if (take(i, "--trace", output().trace_path)) continue;
+    argv[out++] = argv[i++];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+
+  // Default the experiment label to the binary name; header() (which the
+  // table-printing binaries call) overwrites it with the real title.
+  if (output().experiment.empty() && argv[0] != nullptr) {
+    const char* base = std::strrchr(argv[0], '/');
+    output().experiment = base != nullptr ? base + 1 : argv[0];
+  }
+
+  // Touch the registry before registering the atexit hook: function-local
+  // statics are destroyed in reverse construction/registration order, so the
+  // registry must exist first for the hook to run before its destructor.
+  (void)telemetry::Registry::instance().local();
+  static const bool registered = [] {
+    std::atexit([] { finish(); });
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace ph::bench

@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "core/engine.hpp"
 #include "core/parallel_heap.hpp"
 #include "core/pipelined_heap.hpp"
 #include "util/rng.hpp"
@@ -78,6 +81,42 @@ void BM_PipelinedHeapStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinedHeapStep)->RangeMultiplier(4)->Range(1 << 12, 1 << 22);
 
+// The full multithreaded engine on a hold-model workload: per cycle the
+// think team processes the r smallest while the maintenance worker advances
+// the pipeline. This is the variant whose --trace output shows the
+// think/maintenance overlap (driver, think-*, and maint-* tracks).
+void BM_EngineCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ph::EngineConfig cfg;
+  cfg.node_capacity = kR;
+  cfg.think_threads = 2;
+  cfg.maintenance_threads = 1;
+  ph::ParallelHeapEngine<std::uint64_t> eng(cfg);
+  eng.seed(content(n));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const ph::EngineReport rep = eng.run(
+        [](unsigned, std::span<const std::uint64_t> mine,
+           std::span<const std::uint64_t>, std::vector<std::uint64_t>& out) {
+          for (std::uint64_t v : mine) {
+            out.push_back(v + 1 + (v * 2654435761u) % (1u << 20));
+          }
+        },
+        /*max_items=*/kR * 8);
+    cycles += rep.cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kR) * 8);
+}
+BENCHMARK(BM_EngineCycle)->Arg(1 << 14);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);  // strips --json/--trace first
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,8 @@
 #include "sim/serial_sim.hpp"
 #include "sim/sync_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
   using namespace ph::sim;

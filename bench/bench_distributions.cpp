@@ -23,7 +23,8 @@ struct FixedKey {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 

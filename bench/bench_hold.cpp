@@ -51,7 +51,8 @@ double time_batch(Q& q, std::size_t n, std::uint64_t ops, std::size_t r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 

@@ -16,7 +16,8 @@
 #include "util/timer.hpp"
 #include "workloads/hold_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 

@@ -21,7 +21,8 @@ constexpr std::size_t kR = 512;
 constexpr std::uint64_t kOps = 1 << 20;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 

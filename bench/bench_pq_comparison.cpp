@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+
+#include "bench_common.hpp"
 #include <vector>
 
 #include "baselines/binary_heap.hpp"
@@ -100,4 +102,11 @@ BENCHMARK(BM_ParallelHeapBatch)->RangeMultiplier(32)->Range(kLo, kHi);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);  // strips --json/--trace first
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

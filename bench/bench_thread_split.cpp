@@ -21,7 +21,8 @@ namespace {
 std::atomic<std::uint64_t> g_sink{0};
 }
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 

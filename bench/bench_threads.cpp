@@ -13,6 +13,7 @@
 // and round-robin deal keep per-thread work at items/t.
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,7 +41,8 @@ std::atomic<std::uint64_t> benchmark_sink{0};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
   using namespace ph;
   using namespace ph::bench;
 
@@ -82,6 +84,8 @@ int main() {
         ps.half_steps > 0 ? static_cast<double>(ps.task_groups) /
                                 static_cast<double>(ps.half_steps)
                           : 0.0);
+    json_metric("parheap_t" + std::to_string(t) + "_mops",
+                static_cast<double>(rep.items_processed) / secs / 1e6);
   }
 
   // --- locked global binary heap: every op takes the one lock.

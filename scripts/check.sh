@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build and test the release preset, then re-run the
+# concurrency-sensitive tests under thread sanitizer.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+echo "== release: configure + build =="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$JOBS"
+
+echo "== release: ctest =="
+ctest --preset release -j "$JOBS" "$@"
+
+echo "== tsan: configure + build =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+
+echo "== tsan: pipeline + telemetry concurrency tests =="
+ctest --preset tsan "$@" -R \
+  'PipelineParallel|ConcurrentCounterMergeIsExact|CollectWhileWritersRunIsMonotone'
+
+echo "check.sh: all green"

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -67,10 +68,12 @@ class ParallelHeapEngine {
       cfg_.batch = cfg_.node_capacity;
     }
     const unsigned s = cfg_.think_threads;
-    if (s > 0) think_team_ = std::make_unique<ThreadTeam>(s, cfg_.pin_threads);
+    if (s > 0) {
+      think_team_ = std::make_unique<ThreadTeam>(s, cfg_.pin_threads, "think");
+    }
     if (cfg_.maintenance_threads > 0) {
-      maint_team_ =
-          std::make_unique<ThreadTeam>(cfg_.maintenance_threads, cfg_.pin_threads);
+      maint_team_ = std::make_unique<ThreadTeam>(cfg_.maintenance_threads,
+                                                 cfg_.pin_threads, "maint");
       maint_ctx_.resize(cfg_.maintenance_threads);
     }
     const unsigned lanes = s == 0 ? 1 : s;
@@ -99,6 +102,7 @@ class ParallelHeapEngine {
     Timer wall;
     stop_requested_.store(false, std::memory_order_relaxed);
     PhaseTimer maint, stall, root;
+    if constexpr (telemetry::kEnabled) telemetry::name_thread("driver");
 
     batch_out_.clear();
     root.start();
@@ -119,6 +123,8 @@ class ParallelHeapEngine {
 
       if (think_team_) {
         think_fn_ = [&](unsigned tid) {
+          telemetry::SpanScope span(telemetry::Phase::kThink);
+          telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
           think(tid, std::span<const T>(*in_[tid]), std::span<const T>(batch_out_),
                 *out_[tid]);
         };
@@ -127,11 +133,18 @@ class ParallelHeapEngine {
         advance_both();
         maint.stop();
         stall.start();
-        think_team_->wait();
+        {
+          telemetry::SpanScope span(telemetry::Phase::kThinkStall);
+          think_team_->wait();
+        }
         stall.stop();
       } else {
-        think(0, std::span<const T>(*in_[0]), std::span<const T>(batch_out_),
-              *out_[0]);
+        {
+          telemetry::SpanScope span(telemetry::Phase::kThink);
+          telemetry::count(telemetry::Counter::kThinkItems, in_[0]->size());
+          think(0, std::span<const T>(*in_[0]), std::span<const T>(batch_out_),
+                *out_[0]);
+        }
         maint.start();
         advance_both();
         maint.stop();
@@ -173,6 +186,7 @@ class ParallelHeapEngine {
                                                   typename Heap::ServiceCtx&)>& fn) {
       const unsigned mt = maint_team_->size();
       maint_team_->run([&](unsigned tid) {
+        telemetry::SpanScope span(telemetry::Phase::kMaintService);
         for (std::size_t g = tid; g < ngroups; g += mt) fn(g, *maint_ctx_[tid]);
       });
       for (auto& ctx : maint_ctx_) heap_.merge_ctx(*ctx);

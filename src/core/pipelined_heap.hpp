@@ -52,6 +52,7 @@
 #include "core/node_fix.hpp"
 #include "core/parallel_heap.hpp"  // HeapStats
 #include "core/sorted_ops.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace ph {
@@ -174,6 +175,7 @@ class PipelinedParallelHeap {
   template <typename Runner>
   void advance_with(std::size_t parity, Runner&& runner) {
     ++pstats_.half_steps;
+    telemetry::count(telemetry::Counter::kHalfSteps);
     batch_.clear();
     for (std::size_t lvl = 0; lvl < procs_.size(); ++lvl) {
       if (lvl % 2 != parity || procs_[lvl].empty()) continue;
@@ -181,6 +183,8 @@ class PipelinedParallelHeap {
       procs_[lvl].clear();
     }
     if (batch_.empty()) return;
+    telemetry::SpanScope span(parity == 1 ? telemetry::Phase::kOddHalfStep
+                                          : telemetry::Phase::kEvenHalfStep);
     inflight_ -= batch_.size();
     run_batch(std::forward<Runner>(runner));
   }
@@ -327,6 +331,7 @@ class PipelinedParallelHeap {
     procs_[lvl].push_back(std::move(p));
     ++inflight_;
     ++pstats_.procs_spawned;
+    telemetry::count(telemetry::Counter::kProcsSpawned);
     pstats_.max_inflight = std::max<std::uint64_t>(pstats_.max_inflight, inflight_);
   }
 
@@ -351,6 +356,7 @@ class PipelinedParallelHeap {
     pstats_.task_groups += ngroups;
     pstats_.max_groups = std::max<std::uint64_t>(pstats_.max_groups, ngroups);
     pstats_.procs_serviced += batch_.size();
+    telemetry::count(telemetry::Counter::kProcsServiced, batch_.size());
 
     std::function<void(std::size_t, ServiceCtx&)> fn = [this](std::size_t g,
                                                               ServiceCtx& ctx) {
@@ -471,6 +477,9 @@ class PipelinedParallelHeap {
   /// The root-level work of one cycle (paper step 3).
   std::size_t root_work(std::span<const T> new_items, std::size_t k,
                         std::vector<T>& out) {
+    telemetry::SpanScope span(telemetry::Phase::kRootWork);
+    telemetry::count(telemetry::Counter::kCycles);
+    telemetry::count(telemetry::Counter::kItemsInserted, new_items.size());
     new_buf_.assign(new_items.begin(), new_items.end());
     std::sort(new_buf_.begin(), new_buf_.end(), cmp_);
 
@@ -479,6 +488,7 @@ class PipelinedParallelHeap {
       out.insert(out.end(), new_buf_.begin(),
                  new_buf_.begin() + static_cast<std::ptrdiff_t>(take));
       stats_.items_deleted += take;
+      telemetry::count(telemetry::Counter::kItemsDeleted, take);
       if (take < new_buf_.size()) {
         spawn_inserts(std::span<const T>(new_buf_).subspan(take));
       }
@@ -495,6 +505,7 @@ class PipelinedParallelHeap {
     out.insert(out.end(), merged_.begin(),
                merged_.begin() + static_cast<std::ptrdiff_t>(take));
     stats_.items_deleted += take;
+    telemetry::count(telemetry::Counter::kItemsDeleted, take);
 
     const std::size_t rest = merged_.size() - take;
     const std::size_t new_total = size_ + new_buf_.size() - take;
@@ -564,6 +575,7 @@ class PipelinedParallelHeap {
   /// carried sets; materialized items come off stored suffixes. Decrements
   /// size_.
   void take_tail(std::size_t q, std::vector<T>& out) {
+    telemetry::SpanScope span(telemetry::Phase::kSteal);
     pieces_.clear();
     while (q > 0) {
       PH_ASSERT(size_ > node_count(0));
@@ -584,6 +596,7 @@ class PipelinedParallelHeap {
                              victim->carried.end());
         victim->carried.resize(victim->carried.size() - s);
         pstats_.steals += s;
+        telemetry::count(telemetry::Counter::kSteals, s);
         // An emptied process stays parked and retires as a no-op.
       } else {
         // No in-flight delivery owns slots here, so the tail node's

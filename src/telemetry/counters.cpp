@@ -1,0 +1,141 @@
+#include "telemetry/counters.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace ph::telemetry {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kRootWork: return "root_work";
+    case Phase::kOddHalfStep: return "odd_half_step";
+    case Phase::kEvenHalfStep: return "even_half_step";
+    case Phase::kThink: return "think";
+    case Phase::kThinkStall: return "think_stall";
+    case Phase::kSteal: return "steal";
+    case Phase::kMaintService: return "maint_service";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kCycles: return "cycles";
+    case Counter::kItemsInserted: return "items_inserted";
+    case Counter::kItemsDeleted: return "items_deleted";
+    case Counter::kProcsSpawned: return "procs_spawned";
+    case Counter::kProcsServiced: return "procs_serviced";
+    case Counter::kSteals: return "steals";
+    case Counter::kThinkItems: return "think_items";
+    case Counter::kHalfSteps: return "half_steps";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+ThreadSlot& Registry::local() {
+  thread_local ThreadSlot* slot = nullptr;
+  if (slot == nullptr) {
+    std::lock_guard lk(mu_);
+    auto s = std::make_unique<ThreadSlot>();
+    s->tid = static_cast<unsigned>(slots_.size());
+    s->name = "thread-" + std::to_string(s->tid);
+    slot = s.get();
+    slots_.push_back(std::move(s));
+  }
+  return *slot;
+}
+
+void Registry::set_thread_name(std::string_view name) {
+  ThreadSlot& s = local();
+  std::lock_guard lk(mu_);
+  s.name.assign(name);
+}
+
+MetricsSnapshot Registry::collect() {
+  MetricsSnapshot out;
+  std::lock_guard lk(mu_);
+  out.threads.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    MetricsSnapshot::PerThread pt;
+    pt.tid = s->tid;
+    pt.name = s->name;
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      const std::uint64_t v = s->counters[c].load(std::memory_order_relaxed);
+      pt.counters[c] = v;
+      out.counters[c] += v;
+    }
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      s->latency[p].merge_into(out.phases[p]);
+    }
+    out.dropped_spans += s->trace.dropped();
+    out.threads.push_back(std::move(pt));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& s : slots_) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : s->latency) h.reset();
+    s->trace.reset();
+  }
+}
+
+std::vector<ThreadSlot*> Registry::slots() {
+  std::lock_guard lk(mu_);
+  std::vector<ThreadSlot*> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(s.get());
+  return out;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    w.kv(counter_name(static_cast<Counter>(c)), counters[c]);
+  }
+  w.end_object();
+
+  w.key("phases").begin_object();
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const HistogramSnapshot& h = phases[p];
+    w.key(phase_name(static_cast<Phase>(p))).begin_object();
+    w.kv("count", h.count());
+    w.kv("min_ns", h.min());
+    w.kv("max_ns", h.max());
+    w.kv("mean_ns", h.mean());
+    w.kv("p50_ns", h.percentile(50));
+    w.kv("p90_ns", h.percentile(90));
+    w.kv("p99_ns", h.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("threads").begin_array();
+  for (const PerThread& t : threads) {
+    w.begin_object();
+    w.kv("tid", t.tid);
+    w.kv("name", t.name);
+    w.key("counters").begin_object();
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      w.kv(counter_name(static_cast<Counter>(c)), t.counters[c]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.kv("dropped_spans", dropped_spans);
+  w.end_object();
+}
+
+}  // namespace ph::telemetry

@@ -1,0 +1,64 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ph::telemetry {
+
+using hist_detail::bucket_hi;
+using hist_detail::bucket_lo;
+using hist_detail::kNumBuckets;
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based: ⌈p/100 · count⌉, at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(bucket_hi(b), max_);
+  }
+  return max_;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& o) noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  return *this;
+}
+
+std::string HistogramSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count();
+  if (count() > 0) {
+    os << " min=" << min() << " mean=" << mean() << " p50=" << percentile(50)
+       << " p90=" << percentile(90) << " p99=" << percentile(99)
+       << " max=" << max();
+  }
+  return os.str();
+}
+
+void LogHistogram::merge_into(HistogramSnapshot& out) const noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) out.add_sample_bucket(b, n);
+  }
+  out.sum_ += static_cast<double>(sum_.load(std::memory_order_relaxed));
+  out.min_ = std::min(out.min_, min_.load(std::memory_order_relaxed));
+  out.max_ = std::max(out.max_, max_.load(std::memory_order_relaxed));
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ph::telemetry

@@ -1,0 +1,141 @@
+// HDR-style log-bucketed latency histogram.
+//
+// Telemetry records one latency sample per phase per cycle from many threads
+// at once, so the recording structure must be lock-free and O(1): values are
+// binned into buckets with a fixed relative width (16 linear sub-buckets per
+// power of two → ≤ 6.25% relative error), and every bucket is a relaxed
+// atomic counter. Values below 16 are binned exactly. Recording is a single
+// fetch_add; percentile extraction walks the (fixed-size) bucket array and
+// happens only at report time, against a plain `HistogramSnapshot` merged
+// from any number of per-thread histograms.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace ph::telemetry {
+
+namespace hist_detail {
+inline constexpr unsigned kSubBits = 4;
+inline constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 16
+/// 16 exact buckets for [0,16) plus 16 sub-buckets per exponent 4..63.
+inline constexpr std::size_t kNumBuckets = kSub + (64 - kSubBits) * kSub;
+
+/// Bucket of `v`: exact below kSub, else exponent e = floor(log2 v) selects a
+/// group whose kSub sub-buckets are the next kSubBits bits of v.
+constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;  // e >= 4
+  const std::uint64_t sub = (v >> (e - kSubBits)) & (kSub - 1);
+  return kSub + static_cast<std::size_t>(e - kSubBits) * kSub +
+         static_cast<std::size_t>(sub);
+}
+
+/// Smallest value mapping to bucket `b`.
+constexpr std::uint64_t bucket_lo(std::size_t b) noexcept {
+  if (b < kSub) return b;
+  const std::size_t g = (b - kSub) / kSub;      // e - kSubBits
+  const std::uint64_t sub = (b - kSub) % kSub;
+  return (std::uint64_t{1} << (g + kSubBits)) | (sub << g);
+}
+
+/// Largest value mapping to bucket `b`.
+constexpr std::uint64_t bucket_hi(std::size_t b) noexcept {
+  if (b < kSub) return b;
+  const std::size_t g = (b - kSub) / kSub;
+  return bucket_lo(b) + (std::uint64_t{1} << g) - 1;
+}
+}  // namespace hist_detail
+
+/// Plain (non-atomic) aggregate of one or more LogHistograms; all percentile
+/// math lives here, at report time.
+class HistogramSnapshot {
+ public:
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile p ∈ [0,100]: the upper bound of the bucket holding
+  /// the rank-⌈p/100·count⌉ sample. Guaranteed ≥ the true sample and within
+  /// one bucket width (≤ 6.25% relative) above it.
+  std::uint64_t percentile(double p) const noexcept;
+
+  void add_sample_bucket(std::size_t b, std::uint64_t n) noexcept {
+    buckets_[b] += n;
+    count_ += n;
+  }
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept;
+
+  std::string to_string() const;
+
+ private:
+  friend class LogHistogram;
+  std::array<std::uint64_t, hist_detail::kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Lock-free recording side: one owner thread calls record(); any thread may
+/// concurrently merge_into() a snapshot (all loads/stores relaxed — counts
+/// are monotone, and reports are taken at quiescent points).
+class LogHistogram {
+ public:
+  static constexpr std::size_t num_buckets() noexcept {
+    return hist_detail::kNumBuckets;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[hist_detail::bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Accumulates this histogram's contents into `out`.
+  void merge_into(HistogramSnapshot& out) const noexcept;
+
+  /// Convenience: a snapshot of just this histogram.
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    merge_into(s);
+    return s;
+  }
+
+  void reset() noexcept;
+
+ private:
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, hist_detail::kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace ph::telemetry

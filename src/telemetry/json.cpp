@@ -1,0 +1,132 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ph::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (have_key_) {
+    have_key_ = false;
+    return;
+  }
+  PH_ASSERT_MSG(stack_.empty() || stack_.back() == Ctx::kArray,
+                "JsonWriter: value inside an object requires key()");
+  if (!first_in_container_) os_ << ',';
+  first_in_container_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  stack_.push_back(Ctx::kObject);
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PH_ASSERT(!stack_.empty() && stack_.back() == Ctx::kObject);
+  stack_.pop_back();
+  os_ << '}';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PH_ASSERT(!stack_.empty() && stack_.back() == Ctx::kArray);
+  stack_.pop_back();
+  os_ << ']';
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  PH_ASSERT_MSG(!stack_.empty() && stack_.back() == Ctx::kObject,
+                "JsonWriter: key() outside an object");
+  PH_ASSERT(!have_key_);
+  if (!first_in_container_) os_ << ',';
+  first_in_container_ = false;
+  os_ << '"' << json_escape(name) << "\":";
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace ph::telemetry

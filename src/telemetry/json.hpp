@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer for the telemetry exporters.
+//
+// The metrics (--json) and Chrome-trace (--trace) exporters need structured
+// output that external tools (jq, Perfetto, pandas) parse mechanically; a
+// hand-rolled writer keeps the repo dependency-free. The writer tracks the
+// container stack so commas and closers are always placed correctly — a
+// malformed emission is a PH_ASSERT failure in debug builds, not a silently
+// broken file.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ph::telemetry {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":` inside an object; the next value call supplies the value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Depth of the open container stack (0 when the document is complete).
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+ private:
+  enum class Ctx : unsigned char { kObject, kArray };
+  void separate();  // comma/placement bookkeeping before a value or key
+
+  std::ostream& os_;
+  std::vector<Ctx> stack_;
+  bool first_in_container_ = true;
+  bool have_key_ = false;
+};
+
+}  // namespace ph::telemetry

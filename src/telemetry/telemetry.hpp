@@ -1,0 +1,83 @@
+// Telemetry hook API — the only header the instrumented hot paths include.
+//
+// The heap, engine, and thread pool call these free functions and SpanScope;
+// when the build disables telemetry (-DPH_TELEMETRY=OFF → the
+// PH_TELEMETRY_ENABLED=0 compile definition) every hook is an empty inline
+// and SpanScope is an empty class, so the instrumentation costs nothing —
+// not even a branch. The telemetry *classes* (histogram, registry, tracer,
+// JSON) stay available in both builds; only the hooks vanish, so an OFF
+// build still compiles the exporters and passes the unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+#ifndef PH_TELEMETRY_ENABLED
+#define PH_TELEMETRY_ENABLED 1
+#endif
+
+namespace ph::telemetry {
+
+#if PH_TELEMETRY_ENABLED
+inline constexpr bool kEnabled = true;
+
+inline void count(Counter c, std::uint64_t delta = 1) noexcept {
+  Registry::instance().local().add(c, delta);
+}
+
+inline void record_latency(Phase p, std::uint64_t ns) noexcept {
+  Registry::instance().local().record(p, ns);
+}
+
+inline void name_thread(std::string_view name) {
+  Registry::instance().set_thread_name(name);
+}
+
+/// RAII span: on destruction records the elapsed time into the phase's
+/// latency histogram and pushes a begin/end span into the thread's trace
+/// ring. Construct it around exactly the region to attribute.
+class SpanScope {
+ public:
+  explicit SpanScope(Phase p) noexcept
+      : slot_(&Registry::instance().local()),
+        phase_(p),
+        t0_(Registry::instance().now_ns()) {}
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() {
+    const std::uint64_t t1 = Registry::instance().now_ns();
+    slot_->record(phase_, t1 - t0_);
+    slot_->trace.push(TraceSpan{static_cast<std::uint32_t>(phase_), t0_, t1});
+  }
+
+ private:
+  ThreadSlot* slot_;
+  Phase phase_;
+  std::uint64_t t0_;
+};
+
+#else  // !PH_TELEMETRY_ENABLED
+
+inline constexpr bool kEnabled = false;
+
+inline void count(Counter, std::uint64_t = 1) noexcept {}
+inline void record_latency(Phase, std::uint64_t) noexcept {}
+inline void name_thread(std::string_view) noexcept {}
+
+class SpanScope {
+ public:
+  explicit SpanScope(Phase) noexcept {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+};
+
+#endif  // PH_TELEMETRY_ENABLED
+
+}  // namespace ph::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/json.hpp"
+
+namespace ph::telemetry {
+
+namespace {
+
+void emit_event(JsonWriter& w, const char* ph, unsigned tid, const TraceSpan& s,
+                std::uint64_t ts_ns) {
+  w.begin_object();
+  w.kv("name", phase_name(static_cast<Phase>(s.phase)));
+  w.kv("cat", "ph");
+  w.kv("ph", ph);
+  w.kv("pid", 0);
+  w.kv("tid", tid);
+  w.kv("ts", static_cast<double>(ts_ns) / 1000.0);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  for (ThreadSlot* slot : Registry::instance().slots()) {
+    // Thread metadata record so viewers label the track.
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", slot->tid);
+    w.key("args").begin_object().kv("name", slot->name).end_object();
+    w.end_object();
+
+    // A thread's spans come from RAII scopes, so they form a laminar family
+    // (overlap only by full nesting) — but the ring stores them in *end*
+    // order: an inner span (e.g. steal inside root_work) lands before its
+    // enclosing span. Re-sort by (begin asc, end desc) so outer spans
+    // precede their children, then interleave B/E with a stack so every
+    // track is chronological and properly nested.
+    std::vector<TraceSpan> spans = slot->trace.ordered();
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceSpan& a, const TraceSpan& b) {
+                       if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                       return a.t1_ns > b.t1_ns;
+                     });
+    std::vector<TraceSpan> open;
+    for (const TraceSpan& s : spans) {
+      while (!open.empty() && open.back().t1_ns <= s.t0_ns) {
+        emit_event(w, "E", slot->tid, open.back(), open.back().t1_ns);
+        open.pop_back();
+      }
+      emit_event(w, "B", slot->tid, s, s.t0_ns);
+      open.push_back(s);
+    }
+    while (!open.empty()) {
+      emit_event(w, "E", slot->tid, open.back(), open.back().t1_ns);
+      open.pop_back();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace ph::telemetry

@@ -1,0 +1,81 @@
+// Bounded per-thread span tracer with Chrome trace_event export.
+//
+// Every instrumented phase (root work, odd/even half-step, think, stall,
+// maintenance service) records a begin/end span into the recording thread's
+// private ring buffer; when the buffer fills, the oldest spans are
+// overwritten and counted as dropped, so a long run's memory stays bounded
+// while the tail of the schedule — usually what one is debugging — survives.
+// write_chrome_trace() serializes all threads' spans as Chrome trace_event
+// JSON (B/E pairs plus thread_name metadata), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing, which renders the pipeline
+// overlap between the think and maintenance teams as a per-thread timeline.
+//
+// Concurrency contract: push() is owner-thread-only; export/reset happen at
+// quiescent points (after ThreadTeam::wait(), whose mutex provides the
+// happens-before edge).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace ph::telemetry {
+
+struct TraceSpan {
+  std::uint32_t phase;   ///< Phase enum value (see counters.hpp)
+  std::uint64_t t0_ns;   ///< begin, ns since Registry epoch
+  std::uint64_t t1_ns;   ///< end
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 13;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity) : cap_(capacity) {}
+
+  /// Owner thread only. Overwrites the oldest span when full.
+  void push(const TraceSpan& s) {
+    if (spans_.size() < cap_) {
+      if (spans_.capacity() == 0) spans_.reserve(cap_);
+      spans_.push_back(s);
+      return;
+    }
+    spans_[head_] = s;
+    head_ = (head_ + 1) % cap_;
+    ++dropped_;
+  }
+
+  std::size_t size() const noexcept { return spans_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Spans oldest-first.
+  std::vector<TraceSpan> ordered() const {
+    std::vector<TraceSpan> out;
+    out.reserve(spans_.size());
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      out.push_back(spans_[(head_ + i) % spans_.size()]);
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    spans_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;  ///< index of the oldest span once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+/// Serializes every registered thread's spans (see counters.hpp Registry) as
+/// a Chrome trace_event JSON document: one "M" thread_name metadata record
+/// per thread followed by that thread's "B"/"E" pairs in chronological
+/// order. Timestamps are microseconds since the Registry epoch.
+void write_chrome_trace(std::ostream& os);
+
+}  // namespace ph::telemetry

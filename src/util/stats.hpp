@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,25 +17,48 @@
 
 namespace ph {
 
-/// Streaming summary of a sequence of samples (count/min/max/mean).
+/// Streaming summary of a sequence of samples (count/min/max/mean/stddev).
+/// Mean and variance use Welford's online update for numerical stability;
+/// NaN samples are rejected (counted separately) instead of poisoning every
+/// aggregate through min/max/sum propagation.
 class Summary {
  public:
   void add(double x) noexcept {
+    if (std::isnan(x)) {
+      ++nan_count_;
+      return;
+    }
     ++count_;
     sum_ += x;
-    min_ = count_ == 1 ? x : std::min(min_, x);
-    max_ = count_ == 1 ? x : std::max(max_, x);
+    if (count_ == 1) {
+      min_ = max_ = mean_ = x;
+      m2_ = 0.0;
+      return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
   }
 
   std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t nan_count() const noexcept { return nan_count_; }
   double sum() const noexcept { return sum_; }
-  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
+  /// Sample standard deviation (Bessel-corrected); 0 with fewer than 2 samples.
+  double stddev() const noexcept {
+    return count_ < 2 ? 0.0 : std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
 
  private:
   std::uint64_t count_ = 0;
+  std::uint64_t nan_count_ = 0;
   double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
@@ -57,7 +81,9 @@ class Pow2Histogram {
 
 /// Named counters for a single benchmark/test run. Not thread-safe by
 /// design: concurrent components keep per-thread counters and merge them
-/// into a registry at phase boundaries.
+/// into a registry at phase boundaries. For live, thread-safe counters and
+/// latency histograms use telemetry/counters.hpp instead — this registry
+/// remains for single-threaded ad-hoc accounting.
 class StatRegistry {
  public:
   void add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }

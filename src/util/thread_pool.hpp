@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/affinity.hpp"
 #include "util/assert.hpp"
 
@@ -23,13 +25,19 @@ namespace ph {
 class ThreadTeam {
  public:
   /// Creates `threads` workers (>= 1). With pin=true each worker is pinned
-  /// round-robin to a CPU.
-  explicit ThreadTeam(unsigned threads, bool pin = false) : size_(threads) {
+  /// round-robin to a CPU. `name` labels the workers' telemetry slots (and
+  /// thus their tracks in a Chrome trace) as "<name>-<tid>".
+  explicit ThreadTeam(unsigned threads, bool pin = false,
+                      const char* name = "worker")
+      : size_(threads) {
     PH_ASSERT(threads >= 1);
     workers_.reserve(threads);
     for (unsigned tid = 0; tid < threads; ++tid) {
-      workers_.emplace_back([this, tid, pin] {
+      workers_.emplace_back([this, tid, pin, name] {
         if (pin) pin_this_thread(tid);
+        if constexpr (telemetry::kEnabled) {
+          telemetry::name_thread(std::string(name) + "-" + std::to_string(tid));
+        }
         worker_loop(tid);
       });
     }

@@ -1,0 +1,228 @@
+// Minimal recursive-descent JSON parser for test-side validation of the
+// telemetry exporters. Intentionally strict: any deviation from RFC 8259
+// grammar throws, so "the file parses" is a meaningful assertion. Numbers
+// are held as double (adequate for the counter magnitudes under test).
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ph::testjson {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v =
+      nullptr;
+
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+
+  const Object& object() const { return std::get<Object>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+
+  /// Object member access; throws if absent or not an object.
+  const Value& at(const std::string& key) const {
+    const Object& o = object();
+    auto it = o.find(key);
+    if (it == o.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{parse_string()};
+      case 't': return parse_lit("true", Value{true});
+      case 'f': return parse_lit("false", Value{false});
+      case 'n': return parse_lit("null", Value{nullptr});
+      default: return parse_number();
+    }
+  }
+
+  Value parse_lit(std::string_view lit, Value v) {
+    if (s_.substr(pos_, lit.size()) != lit) fail("bad literal");
+    pos_ += lit.size();
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(o)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{std::move(o)};
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(a)};
+    }
+    for (;;) {
+      a.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{std::move(a)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              fail("bad \\u escape");
+            }
+          }
+          const unsigned cp =
+              static_cast<unsigned>(std::strtoul(std::string(s_.substr(pos_, 4)).c_str(),
+                                                 nullptr, 16));
+          pos_ += 4;
+          // Tests only emit ASCII control escapes; encode BMP as UTF-8.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("bad number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad fraction");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("bad exponent");
+    }
+    return Value{std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                             nullptr)};
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace ph::testjson

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -168,6 +170,49 @@ TEST(Stats, SummaryTracksMinMaxMean) {
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SummaryStddevMatchesDirectFormula) {
+  Summary s;
+  const double xs[] = {3.0, 7.0, 7.0, 19.0};
+  double mean = 0;
+  for (double x : xs) mean += x / 4.0;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean) / 3.0;  // Bessel
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(var));
+  Summary single;
+  single.add(5.0);
+  EXPECT_DOUBLE_EQ(single.stddev(), 0.0);
+}
+
+TEST(Stats, SummaryWelfordIsStableAtLargeOffset) {
+  // Naive sum-of-squares cancels catastrophically here; Welford must not.
+  Summary s;
+  const double base = 1e9;
+  for (double d : {0.0, 1.0, 2.0}) s.add(base + d);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+}
+
+TEST(Stats, SummaryRejectsNaN) {
+  Summary s;
+  s.add(2.0);
+  s.add(std::numeric_limits<double>::quiet_NaN());
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.nan_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+  // NaN first must not poison the aggregates either.
+  Summary t;
+  t.add(std::numeric_limits<double>::quiet_NaN());
+  t.add(1.0);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 1.0);
 }
 
 TEST(Stats, RegistryAccumulates) {
