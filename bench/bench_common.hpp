@@ -119,17 +119,27 @@ inline void finish() {
 /// for finish() to run at exit.
 inline void parse_args(int& argc, char** argv) {
   auto take = [&](int& i, const char* flag, std::string& dst) -> bool {
+    // An empty path would make finish() silently skip the file the caller
+    // asked for; reject it up front on both spellings.
+    auto require_nonempty = [&](const char* value) {
+      if (value[0] == '\0') {
+        std::fprintf(stderr, "bench: %s requires a non-empty file argument\n", flag);
+        std::exit(2);
+      }
+    };
     const std::size_t len = std::strlen(flag);
     if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench: %s requires a file argument\n", flag);
         std::exit(2);
       }
+      require_nonempty(argv[i + 1]);
       dst = argv[i + 1];
       i += 2;
       return true;
     }
     if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      require_nonempty(argv[i] + len + 1);
       dst = argv[i] + len + 1;
       i += 1;
       return true;

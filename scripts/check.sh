@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Pre-merge gate: build and test the release preset, then re-run the
+# Pre-merge gate: build and test the release preset, run the bounded
+# differential stress soak (including the proof that the harness detects the
+# re-injected pipelined delete-update bug), then re-run the
 # concurrency-sensitive tests under thread sanitizer.
 #
 # Usage: scripts/check.sh [extra ctest args...]
@@ -7,6 +9,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
+STRESS_BUDGET=${STRESS_BUDGET:-60}
 
 echo "== release: configure + build =="
 cmake --preset release >/dev/null
@@ -15,12 +18,26 @@ cmake --build --preset release -j "$JOBS"
 echo "== release: ctest =="
 ctest --preset release -j "$JOBS" "$@"
 
+echo "== release: differential stress soak (budget ${STRESS_BUDGET}s) =="
+REPRO_DIR=$(mktemp -d)
+trap 'rm -rf "$REPRO_DIR"' EXIT
+build-release/tools/ph_stress --budget "$STRESS_BUDGET" --repro-dir "$REPRO_DIR"
+
+echo "== release: fault-detection proof (pipelined_heap_faulty must be caught) =="
+build-release/tools/ph_stress --structures pipelined_heap_faulty \
+  --rounds 2 --must-fail --repro-dir "$REPRO_DIR" 2>/dev/null
+for repro in "$REPRO_DIR"/pipelined_heap_faulty_*.repro; do
+  [ -e "$repro" ] || { echo "check.sh: no reproducer written" >&2; exit 1; }
+  echo "== release: replaying reproducer $repro =="
+  build-release/tools/ph_repro "$repro" --expect-fail
+done
+
 echo "== tsan: configure + build =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 
-echo "== tsan: pipeline + telemetry concurrency tests =="
+echo "== tsan: pipeline + telemetry + substrate concurrency tests =="
 ctest --preset tsan "$@" -R \
-  'PipelineParallel|ConcurrentCounterMergeIsExact|CollectWhileWritersRunIsMonotone'
+  'PipelineParallel|ConcurrentCounterMergeIsExact|CollectWhileWritersRunIsMonotone|SchedStress'
 
 echo "check.sh: all green"

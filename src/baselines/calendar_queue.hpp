@@ -84,14 +84,27 @@ class CalendarQueue {
     buckets_.assign(nbuckets, Bucket{});
     width_ = width;
     last_prio_ = startprio;
-    last_bucket_ = static_cast<std::size_t>(startprio / width_) % nbuckets;
-    bucket_top_ = (std::floor(startprio / width_) + 1) * width_;
+    cur_day_ = day_of(startprio);
     size_ = 0;
   }
 
-  std::size_t bucket_of(double prio) const {
-    return static_cast<std::size_t>(std::floor(prio / width_)) % buckets_.size();
+  // Day and bucket indexing. The scan test and bucket placement MUST use the
+  // bit-identical floor(p / width_) computation: deriving the scan windows by
+  // accumulating `top += width_` instead let an item fall into the seam
+  // between two roundings of the same boundary (e.g. width 4.8: 72 enqueues
+  // into day floor(14.999…) = 14, but the accumulated window for day 14 ended
+  // at exactly 72.0), where it was silently skipped without arming any guard
+  // — an out-of-order dequeue caught by the differential stress harness.
+  // Days are doubles (integer-valued) so huge priority/width ratios don't
+  // overflow an integer cast; fmod on integer-valued doubles is exact.
+  double day_of(double prio) const { return std::floor(prio / width_); }
+
+  std::size_t bucket_of_day(double day) const {
+    return static_cast<std::size_t>(
+        std::fmod(day, static_cast<double>(buckets_.size())));
   }
+
+  std::size_t bucket_of(double prio) const { return bucket_of_day(day_of(prio)); }
 
   void enqueue(const T& v) {
     const double p = key_(v);
@@ -118,26 +131,22 @@ class CalendarQueue {
       return direct_min_dequeue();
     }
     // Phase 1: scan from the current day within the current year. An event
-    // qualifies only if it falls inside the scanned day's *current-year*
-    // window [top - width, top); events behind the clock (possible when the
-    // caller inserts into the past, which Brown's monotone event sets never
-    // do) fall through to the phase-2 direct search, which resets the
-    // calendar at the true minimum.
-    std::size_t i = last_bucket_;
-    double top = bucket_top_;
+    // qualifies only if its own day index matches the scanned day (the same
+    // floor(p / width_) that placed it — see day_of); events beyond the year
+    // fall through to the phase-2 direct search, which resets the calendar
+    // at the true minimum. Events behind the clock cannot appear here: they
+    // armed has_past_ at enqueue and were resolved above.
     for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
-      Bucket& b = buckets_[i];
-      if (!b.empty() && key_(b.back()) < top && key_(b.back()) >= top - width_) {
+      const double day = cur_day_ + static_cast<double>(scanned);
+      Bucket& b = buckets_[bucket_of_day(day)];
+      if (!b.empty() && day_of(key_(b.back())) == day) {
         T out = std::move(b.back());
         b.pop_back();
         --size_;
-        last_bucket_ = i;
+        cur_day_ = day;
         last_prio_ = key_(out);
-        bucket_top_ = top;
         return out;
       }
-      i = (i + 1) % buckets_.size();
-      top += width_;
     }
     // Phase 2 (rare): nothing within a year — find the global minimum
     // directly and restart the calendar there.
@@ -154,9 +163,8 @@ class CalendarQueue {
         best_bucket = bi;
       }
     }
-    last_bucket_ = best_bucket;
     last_prio_ = best;
-    bucket_top_ = (std::floor(best / width_) + 1) * width_;
+    cur_day_ = day_of(best);
     Bucket& b = buckets_[best_bucket];
     T out = std::move(b.back());
     b.pop_back();
@@ -184,8 +192,7 @@ class CalendarQueue {
     // Brown's newwidth(): the sampling dequeues must not move the queue's
     // position, so save and restore it around the sample.
     const double saved_prio = last_prio_;
-    const std::size_t saved_bucket = last_bucket_;
-    const double saved_top = bucket_top_;
+    const double saved_day = cur_day_;
     std::size_t ns;
     if (size_ <= 5) {
       ns = size_;
@@ -213,8 +220,7 @@ class CalendarQueue {
     // Restore the position before re-enqueueing so the sample (all at or
     // after the saved clock) does not trip the behind-clock guard.
     last_prio_ = saved_prio;
-    last_bucket_ = saved_bucket;
-    bucket_top_ = saved_top;
+    cur_day_ = saved_day;
     for (const T& v : sample_) enqueue(v);
     const double w = 3.0 * avg;
     return w > 0 ? w : width_;
@@ -236,10 +242,9 @@ class CalendarQueue {
   KeyFn key_;
   std::vector<Bucket> buckets_;
   double width_ = 1.0;
-  double last_prio_ = 0.0;     ///< priority of the last dequeued event
-  std::size_t last_bucket_ = 0;  ///< bucket of the last dequeued event
-  double bucket_top_ = 1.0;    ///< upper bound of the current day
-  bool has_past_ = false;      ///< an insertion went behind the clock
+  double last_prio_ = 0.0;  ///< priority of the last dequeued event
+  double cur_day_ = 0.0;    ///< integer day index the calendar is at
+  bool has_past_ = false;   ///< an insertion went behind the clock
   std::size_t size_ = 0;
   std::vector<T> sample_, old_;  // scratch
 };

@@ -280,6 +280,18 @@ class PipelinedParallelHeap {
     pstats_ = PipelineStats{};
   }
 
+  /// Testing-only faults the stress harness re-introduces to prove it
+  /// detects the historical bug classes (see testing/structures.hpp).
+  enum class InjectedFault : std::uint8_t {
+    kNone = 0,
+    /// Re-introduces the documented delete-update revert-note bug: spawn a
+    /// child's deferred re-service only when the stale violation check (the
+    /// currently-stored grandchildren) looks dirty. Unsound under
+    /// pipelining — the check can't see in-flight processes below.
+    kSkipDeferredReservice,
+  };
+  void inject_fault_for_testing(InjectedFault f) noexcept { fault_ = f; }
+
  private:
   static bool fail(std::string* why, std::string msg) {
     if (why) *why = std::move(msg);
@@ -353,6 +365,29 @@ class PipelinedParallelHeap {
     }
     groups_.push_back(batch_.size());
     const std::size_t ngroups = groups_.size() - 1;
+
+    // Snapshot the grandchild minima each delete group will consult BEFORE
+    // the parallel phase. A same-parity group two levels down rewrites those
+    // nodes concurrently, so reading them live from inside a worker is a
+    // data race (caught by the schedule-perturbed TSan run) and makes fill
+    // routing timing-dependent. The snapshot pins every group to the
+    // half-step's start state — the synchronous-step semantics the paper's
+    // correctness argument assumes. Within a group the snapshot stays exact:
+    // a delete at v writes only v and its children, never its grandchildren.
+    gsnap_.assign(ngroups, GrandSnap{});
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      const ProcT& head = batch_[groups_[g]];
+      if (head.kind != Kind::kDelete) continue;  // deletes sort first per node
+      GrandSnap& gs = gsnap_[g];
+      if (const T* m = grandchild_min(2 * head.node + 1)) {
+        gs.lmin = *m;
+        gs.has_l = true;
+      }
+      if (const T* m = grandchild_min(2 * head.node + 2)) {
+        gs.rmin = *m;
+        gs.has_r = true;
+      }
+    }
     pstats_.task_groups += ngroups;
     pstats_.max_groups = std::max<std::uint64_t>(pstats_.max_groups, ngroups);
     pstats_.procs_serviced += batch_.size();
@@ -360,10 +395,12 @@ class PipelinedParallelHeap {
 
     std::function<void(std::size_t, ServiceCtx&)> fn = [this](std::size_t g,
                                                               ServiceCtx& ctx) {
+      const GrandSnap& gs = gsnap_[g];
       for (std::size_t i = groups_[g]; i < groups_[g + 1]; ++i) {
         ProcT& p = batch_[i];
         if (p.kind == Kind::kDelete) {
-          service_delete(p.node, ctx);
+          service_delete(p.node, ctx, gs.has_l ? &gs.lmin : nullptr,
+                         gs.has_r ? &gs.rmin : nullptr);
         } else {
           service_insert(std::move(p), ctx);
         }
@@ -394,8 +431,10 @@ class PipelinedParallelHeap {
  private:
   /// One node-local delete-update: repairs `v` against its children, pushes
   /// displaced dirty items down, spawns continuations at the children that
-  /// received dirty items.
-  void service_delete(std::size_t v, ServiceCtx& c) {
+  /// received dirty items. `gl`/`gr` are the grandchild minima snapshotted
+  /// by run_batch before the parallel phase (nullptr when the child has no
+  /// children) — never read live here, see the snapshot comment above.
+  void service_delete(std::size_t v, ServiceCtx& c, const T* gl, const T* gr) {
     const std::size_t l = 2 * v + 1;
     const std::size_t rc = 2 * v + 2;
     const std::size_t nl = node_count(l);
@@ -416,10 +455,14 @@ class PipelinedParallelHeap {
     // stale with respect to in-flight processes below, and the deferred
     // re-service (which early-outs in O(1) when clean) is what makes the
     // pipeline sound.
-    const FixOutcome<T> out =
-        fix_node(sv, sl, sr, grandchild_min(l), grandchild_min(rc), c.fix_, cmp_);
-    if (out.taken_l > 0) c.spawned_.push_back(ProcT{Kind::kDelete, l, 0, 0, {}});
-    if (out.taken_r > 0) c.spawned_.push_back(ProcT{Kind::kDelete, rc, 0, 0, {}});
+    const FixOutcome<T> out = fix_node(sv, sl, sr, gl, gr, c.fix_, cmp_);
+    const bool skip_clean = fault_ == InjectedFault::kSkipDeferredReservice;
+    if (out.taken_l > 0 && !(skip_clean && !out.l_violates)) {
+      c.spawned_.push_back(ProcT{Kind::kDelete, l, 0, 0, {}});
+    }
+    if (out.taken_r > 0 && !(skip_clean && !out.r_violates)) {
+      c.spawned_.push_back(ProcT{Kind::kDelete, rc, 0, 0, {}});
+    }
     if (out.taken_l > 0 && out.taken_r > 0) ++c.stats_.proc_splits;
     ++c.stats_.nodes_touched;
     c.stats_.items_merged += out.items_moved;
@@ -619,6 +662,7 @@ class PipelinedParallelHeap {
 
   std::size_t r_;
   Compare cmp_;
+  InjectedFault fault_ = InjectedFault::kNone;
   std::vector<T> arena_;
   std::vector<std::size_t> cnt_;
   std::size_t size_ = 0;
@@ -630,10 +674,18 @@ class PipelinedParallelHeap {
   PipelineStats pstats_;
   ServiceCtx ctx_;  // context for the serial service paths
 
+  // Per-group grandchild-minima snapshot, taken serially at the top of
+  // run_batch (see the comment there).
+  struct GrandSnap {
+    T lmin{}, rmin{};
+    bool has_l = false, has_r = false;
+  };
+
   // Scratch (reused; the hot path is allocation-free after warm-up).
   std::vector<T> new_buf_, merged_, subs_, tmp_;
   std::vector<ProcT> batch_;
   std::vector<std::size_t> groups_;
+  std::vector<GrandSnap> gsnap_;
   std::vector<std::vector<T>> pieces_;
   std::vector<std::span<const T>> runs_;
 };

@@ -16,10 +16,14 @@ std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
   // Rank of the target sample, 1-based: ⌈p/100 · count⌉, at least 1.
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  // The rank-1 sample is the recorded minimum; and a bucket's upper edge can
+  // undershoot min_ when all samples share the min's bucket, so clamp into
+  // the observed [min_, max_] envelope rather than only capping at max_.
+  if (rank == 1) return min_;
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
     seen += buckets_[b];
-    if (seen >= rank) return std::min(bucket_hi(b), max_);
+    if (seen >= rank) return std::clamp(bucket_hi(b), min_, max_);
   }
   return max_;
 }

@@ -1,0 +1,116 @@
+// Differential trace runner: drives one structure through an OpTrace in
+// lockstep with the sorted-multiset oracle.
+//
+// Per cycle the deletion streams must match exactly (uint64 keys → multiset
+// semantics make the correct stream unique; see oracle.hpp). Structures that
+// expose check_invariants() are additionally scanned every
+// `invariant_stride` cycles — note that the pipelined heap's check drains its
+// pipeline, so a small stride would serialize the very schedule under test;
+// strides are therefore chosen per structure (structures.hpp). At the end of
+// the trace the runner exhausts both sides through the same cycle()
+// interface and compares the remaining contents, which catches items lost or
+// duplicated by in-flight processes when a trace stops mid-pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "testing/op_trace.hpp"
+#include "testing/oracle.hpp"
+
+namespace ph::testing {
+
+struct DiffOptions {
+  /// Run check_invariants() every N cycles (0 = only after the final drain).
+  std::size_t invariant_stride = 0;
+};
+
+struct DiffFailure {
+  bool failed = false;
+  /// Failing op index; trace.ops.size() means the end-of-trace drain/check.
+  std::size_t op_index = 0;
+  std::string message;
+
+  explicit operator bool() const noexcept { return failed; }
+};
+
+namespace diff_detail {
+
+template <typename Q>
+bool maybe_check_invariants(Q& q, std::string* why) {
+  if constexpr (requires { q.check_invariants(why); }) {
+    return q.check_invariants(why);
+  } else {
+    (void)q;
+    (void)why;
+    return true;
+  }
+}
+
+inline std::string mismatch_message(const std::vector<std::uint64_t>& got,
+                                    const std::vector<std::uint64_t>& want) {
+  if (got.size() != want.size()) {
+    return "deleted " + std::to_string(got.size()) + " items, oracle expects " +
+           std::to_string(want.size());
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      return "deleted item " + std::to_string(i) + " is " + std::to_string(got[i]) +
+             ", oracle expects " + std::to_string(want[i]);
+    }
+  }
+  return "streams match";  // unreachable when called on a mismatch
+}
+
+}  // namespace diff_detail
+
+template <typename Q>
+DiffFailure run_differential(Q& q, const OpTrace& trace, const DiffOptions& opt = {}) {
+  SortedOracle oracle;
+  std::vector<std::uint64_t> got, want;
+  std::string why;
+
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    const Op& op = trace.ops[i];
+    const std::size_t k = std::min(op.k, trace.r);
+    got.clear();
+    want.clear();
+    q.cycle(std::span<const std::uint64_t>(op.fresh), k, got);
+    oracle.cycle(op.fresh, k, want);
+    if (got != want) {
+      return {true, i, "cycle " + std::to_string(i) + ": " +
+                           diff_detail::mismatch_message(got, want)};
+    }
+    if (opt.invariant_stride != 0 && (i + 1) % opt.invariant_stride == 0) {
+      if (!diff_detail::maybe_check_invariants(q, &why)) {
+        return {true, i, "cycle " + std::to_string(i) + ": invariant violated: " + why};
+      }
+    }
+  }
+
+  // End-of-trace: exhaust both sides through the same interface and compare.
+  // Bounded so a structure that fabricates items cannot loop forever.
+  const std::size_t end = trace.ops.size();
+  std::size_t guard = oracle.size() / std::max<std::size_t>(1, trace.r) + 64;
+  for (;;) {
+    got.clear();
+    want.clear();
+    const std::size_t nq = q.cycle({}, trace.r, got);
+    const std::size_t no = oracle.cycle({}, trace.r, want);
+    if (got != want) {
+      return {true, end, "final drain: " + diff_detail::mismatch_message(got, want)};
+    }
+    if (nq == 0 && no == 0) break;
+    if (guard-- == 0) {
+      return {true, end, "final drain did not converge (structure keeps yielding items)"};
+    }
+  }
+  if (!diff_detail::maybe_check_invariants(q, &why)) {
+    return {true, end, "final invariant check: " + why};
+  }
+  return {};
+}
+
+}  // namespace ph::testing

@@ -1,0 +1,197 @@
+// Deterministic operation traces for the stress/differential-fuzz harness.
+//
+// A trace is a fully materialized sequence of batch-PQ cycles: per cycle the
+// fresh items inserted and the deletion budget k, plus the structure name and
+// node capacity r it targets. Traces are (a) generated from a seed by an
+// adversarial schedule generator (generate_trace), (b) shrinkable — removing
+// ops or keys keeps the trace valid (shrink.hpp), and (c) round-trip
+// serializable to a line-based text format, so a failure can be replayed by
+// tools/ph_repro from the reproducer file alone (repro format: DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ph::testing {
+
+/// One batch-PQ cycle: insert `fresh`, then delete up to `k`.
+struct Op {
+  std::size_t k = 0;
+  std::vector<std::uint64_t> fresh;
+
+  bool operator==(const Op&) const = default;
+};
+
+struct OpTrace {
+  std::string structure = "pipelined_heap";  ///< registry name (structures.hpp)
+  std::size_t r = 8;                         ///< node capacity / batch width
+  std::uint64_t seed = 0;                    ///< generator seed (provenance)
+  std::vector<Op> ops;
+
+  std::size_t total_keys() const noexcept {
+    std::size_t n = 0;
+    for (const Op& op : ops) n += op.fresh.size();
+    return n;
+  }
+
+  bool operator==(const OpTrace&) const = default;
+
+  /// Self-contained reproducer text (parsed back by from_text / ph_repro).
+  std::string to_text() const {
+    std::ostringstream os;
+    os << "ph-repro 1\n";
+    os << "structure " << structure << "\n";
+    os << "r " << r << "\n";
+    os << "seed " << seed << "\n";
+    os << "ops " << ops.size() << "\n";
+    for (const Op& op : ops) {
+      os << "op " << op.k << " " << op.fresh.size();
+      for (std::uint64_t key : op.fresh) os << " " << key;
+      os << "\n";
+    }
+    return os.str();
+  }
+
+  /// Parses the to_text() format. Returns false (with *err set) on any
+  /// malformed or out-of-bounds input; `out` is only written on success.
+  static bool from_text(const std::string& text, OpTrace& out,
+                        std::string* err = nullptr) {
+    auto fail = [&](const std::string& msg) {
+      if (err) *err = msg;
+      return false;
+    };
+    std::istringstream is(text);
+    std::string word;
+    int version = 0;
+    if (!(is >> word >> version) || word != "ph-repro" || version != 1) {
+      return fail("bad header: expected 'ph-repro 1'");
+    }
+    OpTrace t;
+    std::size_t nops = 0;
+    if (!(is >> word >> t.structure) || word != "structure") {
+      return fail("expected 'structure <name>'");
+    }
+    if (!(is >> word >> t.r) || word != "r" || t.r == 0) {
+      return fail("expected 'r <node capacity >= 1>'");
+    }
+    if (!(is >> word >> t.seed) || word != "seed") {
+      return fail("expected 'seed <seed>'");
+    }
+    if (!(is >> word >> nops) || word != "ops") {
+      return fail("expected 'ops <count>'");
+    }
+    t.ops.reserve(nops);
+    for (std::size_t i = 0; i < nops; ++i) {
+      Op op;
+      std::size_t nkeys = 0;
+      if (!(is >> word >> op.k >> nkeys) || word != "op") {
+        return fail("op " + std::to_string(i) + ": expected 'op <k> <n> keys...'");
+      }
+      if (op.k > t.r) {
+        return fail("op " + std::to_string(i) + ": k exceeds r");
+      }
+      op.fresh.resize(nkeys);
+      for (std::size_t j = 0; j < nkeys; ++j) {
+        if (!(is >> op.fresh[j])) {
+          return fail("op " + std::to_string(i) + ": truncated key list");
+        }
+      }
+      t.ops.push_back(std::move(op));
+    }
+    out = std::move(t);
+    return true;
+  }
+};
+
+struct GenConfig {
+  std::size_t r = 8;
+  std::size_t cycles = 400;
+  std::uint64_t key_bound = std::uint64_t{1} << 16;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an adversarial cycle schedule: the generator walks through
+/// seeded "modes" — steady-state churn, grow bursts, forced shrink,
+/// exhaustion (cycling on an empty heap), duplicate-heavy tiny key alphabets,
+/// and strictly descending/ascending key runs (every batch a new global
+/// min / max). Mode runs last a few cycles each, so one trace crosses many
+/// regimes while several generations of update processes are in flight; the
+/// trace simply ending mid-pipeline is itself an adversary (the differential
+/// runner drains and compares final contents).
+inline OpTrace generate_trace(const GenConfig& cfg) {
+  Xoshiro256 rng(cfg.seed ^ 0xa5a3cd5e12f70c1bull);
+  OpTrace t;
+  t.r = cfg.r;
+  t.seed = cfg.seed;
+  t.ops.reserve(cfg.cycles);
+
+  enum Mode : std::uint64_t {
+    kSteady = 0,
+    kGrow,
+    kShrink,
+    kExhaust,
+    kDupes,
+    kDescending,
+    kAscending,
+    kNumModes
+  };
+  Mode mode = kSteady;
+  std::size_t mode_left = 0;
+  const std::uint64_t bound = cfg.key_bound == 0 ? 1 : cfg.key_bound;
+  std::uint64_t desc_key = bound - rng.next_below(bound / 4 + 1);
+  std::uint64_t asc_key = rng.next_below(bound / 4 + 1);
+  const std::size_t r = cfg.r;
+
+  for (std::size_t cyc = 0; cyc < cfg.cycles; ++cyc) {
+    if (mode_left == 0) {
+      mode = static_cast<Mode>(rng.next_below(kNumModes));
+      mode_left = 1 + rng.next_below(16);
+    }
+    --mode_left;
+    Op op;
+    auto uniform_keys = [&](std::size_t n, std::uint64_t b) {
+      for (std::size_t i = 0; i < n; ++i) op.fresh.push_back(rng.next_below(b));
+    };
+    switch (mode) {
+      case kSteady:
+        uniform_keys(rng.next_below(2 * r + 2), bound);
+        op.k = rng.next_below(r + 1);
+        break;
+      case kGrow:
+        uniform_keys(r + rng.next_below(3 * r + 1), bound);
+        op.k = rng.next_below(r / 2 + 1);
+        break;
+      case kShrink:
+        uniform_keys(rng.next_below(r / 4 + 1), bound);
+        op.k = r;
+        break;
+      case kExhaust:
+        op.k = r;  // no fresh items: drives to (and keeps cycling on) empty
+        break;
+      case kDupes:
+        uniform_keys(rng.next_below(2 * r + 2), 1 + rng.next_below(3));
+        op.k = rng.next_below(r + 1);
+        break;
+      case kDescending:
+        for (std::size_t i = 0; i < r; ++i) {
+          op.fresh.push_back(desc_key);
+          if (desc_key > 0) --desc_key;
+        }
+        op.k = rng.next_below(r + 1);
+        break;
+      case kAscending:
+      default:
+        for (std::size_t i = 0; i < r; ++i) op.fresh.push_back(asc_key++);
+        op.k = rng.next_below(r + 1);
+        break;
+    }
+    t.ops.push_back(std::move(op));
+  }
+  return t;
+}
+
+}  // namespace ph::testing

@@ -1,0 +1,44 @@
+// Sorted-multiset oracle for the differential stress harness.
+//
+// The semantic contract every batch PQ in this library implements:
+//   cycle(fresh, k, out)  ==  "insert all of fresh, then remove the k
+//   globally smallest (fewer only if the structure holds fewer), appending
+//   them to out in ascending order".
+// Keys are std::uint64_t, so equal keys are indistinguishable and multiset
+// semantics make the deletion stream unique — the oracle's output must match
+// any correct structure's output byte for byte.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ph::testing {
+
+class SortedOracle {
+ public:
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    const auto old = static_cast<std::ptrdiff_t>(items_.size());
+    items_.insert(items_.end(), fresh.begin(), fresh.end());
+    std::sort(items_.begin() + old, items_.end());
+    std::inplace_merge(items_.begin(), items_.begin() + old, items_.end());
+    const std::size_t take = std::min(k, items_.size());
+    out.insert(out.end(), items_.begin(),
+               items_.begin() + static_cast<std::ptrdiff_t>(take));
+    items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(take));
+    return take;
+  }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// All held items, ascending.
+  const std::vector<std::uint64_t>& contents() const noexcept { return items_; }
+
+ private:
+  std::vector<std::uint64_t> items_;  // always sorted ascending
+};
+
+}  // namespace ph::testing

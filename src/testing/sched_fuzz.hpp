@@ -1,0 +1,138 @@
+// Schedule perturbation hooks — seeded yield/backoff injection at the
+// threading substrate's synchronization points, so sanitizer runs (TSan
+// especially) explore interleavings the quiet single-core schedule would
+// never produce.
+//
+// ThreadTeam and SenseBarrier call sched_point() at their crossing points
+// (dispatch, task start/finish, barrier arrive/release/spin). Like the
+// telemetry hooks, the whole layer compiles to empty inlines unless the
+// build enables it (-DPH_SCHED_FUZZ=ON → PH_SCHED_FUZZ_ENABLED=1), so the
+// engine's hot loops carry zero cost in normal builds — not even a load.
+//
+// When compiled in, the layer is still inert until sched_fuzz_enable(seed):
+// each thread then derives a SplitMix64 stream from the seed and, per
+// sched_point, yields or spin-backs-off with the configured probability.
+// Perturbation decisions are seeded (a soak is reproducible in
+// distribution), but thread stream assignment follows OS scheduling order —
+// exact interleavings are explored, not replayed; correctness replay is the
+// op-trace reproducer's job (op_trace.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#ifndef PH_SCHED_FUZZ_ENABLED
+#define PH_SCHED_FUZZ_ENABLED 0
+#endif
+
+namespace ph::testing {
+
+/// Where in the threading substrate a perturbation may be injected.
+enum class SchedPoint : std::uint8_t {
+  kTeamDispatch,   ///< ThreadTeam::begin, before waking the members
+  kTeamTaskStart,  ///< worker woke up, about to run the phase task
+  kTeamTaskDone,   ///< worker finished the task, about to report completion
+  kBarrierArrive,  ///< SenseBarrier::arrive_and_wait entry
+  kBarrierRelease, ///< last arriver, about to flip the sense
+  kBarrierSpin,    ///< non-last arriver, about to spin on the sense flag
+};
+
+#if PH_SCHED_FUZZ_ENABLED
+
+inline constexpr bool kSchedFuzz = true;
+
+namespace sched_detail {
+inline std::atomic<bool> g_enabled{false};
+inline std::atomic<std::uint64_t> g_seed{0};
+inline std::atomic<std::uint32_t> g_yield_permille{200};
+inline std::atomic<std::uint32_t> g_max_spin{128};
+inline std::atomic<std::uint64_t> g_epoch{0};
+inline std::atomic<std::uint64_t> g_perturbations{0};
+inline std::atomic<std::uint64_t> g_thread_ordinal{0};
+
+struct ThreadState {
+  std::uint64_t epoch = ~std::uint64_t{0};
+  std::uint64_t state = 0;
+};
+inline thread_local ThreadState tls;
+
+inline std::uint64_t splitmix(std::uint64_t& s) noexcept {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace sched_detail
+
+/// Arms the hooks: from now on every sched_point may perturb. yield_permille
+/// is the per-point perturbation probability in 1/1000ths; perturbations
+/// alternate between std::this_thread::yield() and a bounded relax spin of
+/// up to max_spin iterations.
+inline void sched_fuzz_enable(std::uint64_t seed, std::uint32_t yield_permille = 200,
+                              std::uint32_t max_spin = 128) {
+  using namespace sched_detail;
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_yield_permille.store(yield_permille > 1000 ? 1000 : yield_permille,
+                         std::memory_order_relaxed);
+  g_max_spin.store(max_spin == 0 ? 1 : max_spin, std::memory_order_relaxed);
+  g_thread_ordinal.store(0, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_relaxed);  // reseed per-thread streams
+  g_enabled.store(true, std::memory_order_release);
+}
+
+inline void sched_fuzz_disable() {
+  sched_detail::g_enabled.store(false, std::memory_order_release);
+}
+
+/// Perturbations injected since the hooks were compiled in (diagnostics and
+/// the "hooks actually fire" assertions in tests).
+inline std::uint64_t sched_fuzz_perturbations() {
+  return sched_detail::g_perturbations.load(std::memory_order_relaxed);
+}
+
+inline void sched_point(SchedPoint p) noexcept {
+  using namespace sched_detail;
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  ThreadState& st = tls;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  if (st.epoch != epoch) {
+    st.epoch = epoch;
+    const std::uint64_t ordinal =
+        g_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+    st.state = g_seed.load(std::memory_order_relaxed) ^
+               (ordinal * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  }
+  const std::uint64_t draw =
+      splitmix(st.state) ^ (static_cast<std::uint64_t>(p) << 56);
+  if (draw % 1000 >= g_yield_permille.load(std::memory_order_relaxed)) return;
+  g_perturbations.fetch_add(1, std::memory_order_relaxed);
+  if (draw & 0x1000) {
+    std::this_thread::yield();
+  } else {
+    const std::uint64_t spins =
+        (draw >> 13) % g_max_spin.load(std::memory_order_relaxed) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+  }
+}
+
+#else  // !PH_SCHED_FUZZ_ENABLED
+
+inline constexpr bool kSchedFuzz = false;
+
+// Inert stubs so callers compile identically in both configurations.
+inline void sched_fuzz_enable(std::uint64_t, std::uint32_t = 200,
+                              std::uint32_t = 128) noexcept {}
+inline void sched_fuzz_disable() noexcept {}
+inline std::uint64_t sched_fuzz_perturbations() noexcept { return 0; }
+inline void sched_point(SchedPoint) noexcept {}
+
+#endif  // PH_SCHED_FUZZ_ENABLED
+
+}  // namespace ph::testing

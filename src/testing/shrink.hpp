@@ -1,0 +1,139 @@
+// Minimizing shrinker for failing operation traces.
+//
+// Given a trace that makes some predicate fail (normally: run_trace from
+// structures.hpp reports a differential mismatch), repeatedly tries smaller
+// candidate traces and keeps any that still fail, until a fixpoint or the
+// attempt budget runs out. Reduction passes, in order:
+//   1. truncate everything after the failing op,
+//   2. delete runs of whole ops (ddmin-style halving chunks),
+//   3. delete runs of fresh keys inside each op,
+//   4. zero/halve deletion budgets,
+//   5. canonicalize key values toward zero (0, then repeated halving).
+// Every accepted candidate re-establishes failure by re-running the full
+// predicate, so the result is always a genuine reproducer. All passes are
+// deterministic — same input trace and predicate, same minimized trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "testing/differential.hpp"
+#include "testing/op_trace.hpp"
+
+namespace ph::testing {
+
+using TracePredicate = std::function<DiffFailure(const OpTrace&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  ///< candidate traces evaluated
+  std::size_t accepted = 0;  ///< candidates that kept failing (reductions)
+};
+
+inline OpTrace shrink_trace(const OpTrace& original, const TracePredicate& fails,
+                            std::size_t max_attempts = 4000,
+                            ShrinkStats* stats_out = nullptr) {
+  ShrinkStats st;
+  OpTrace cur = original;
+  DiffFailure f = fails(cur);
+  if (!f.failed) {
+    if (stats_out) *stats_out = st;
+    return cur;  // not a failing trace; nothing to minimize
+  }
+
+  auto attempt = [&](OpTrace cand) -> bool {
+    if (st.attempts >= max_attempts) return false;
+    ++st.attempts;
+    DiffFailure cf = fails(cand);
+    if (!cf.failed) return false;
+    cur = std::move(cand);
+    f = std::move(cf);
+    ++st.accepted;
+    return true;
+  };
+
+  // Pass 1: drop everything after the op the failure was observed at.
+  if (f.op_index + 1 < cur.ops.size()) {
+    OpTrace cand = cur;
+    cand.ops.resize(f.op_index + 1);
+    attempt(std::move(cand));
+  }
+
+  bool progress = true;
+  while (progress && st.attempts < max_attempts) {
+    progress = false;
+
+    // Pass 2: remove chunks of ops, chunk size halving down to 1.
+    for (std::size_t chunk = cur.ops.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t i = 0; i + chunk <= cur.ops.size();) {
+        OpTrace cand = cur;
+        cand.ops.erase(cand.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                       cand.ops.begin() + static_cast<std::ptrdiff_t>(i + chunk));
+        if (attempt(std::move(cand))) {
+          progress = true;  // cur shrank; retry the same position
+        } else {
+          i += chunk;
+        }
+        if (st.attempts >= max_attempts) break;
+      }
+      if (chunk == 1 || st.attempts >= max_attempts) break;
+    }
+
+    // Pass 3: remove chunks of fresh keys inside each op.
+    for (std::size_t oi = 0; oi < cur.ops.size(); ++oi) {
+      for (std::size_t chunk = cur.ops[oi].fresh.size() / 2 + 1; chunk >= 1;
+           chunk /= 2) {
+        for (std::size_t i = 0; oi < cur.ops.size() &&
+                                i + chunk <= cur.ops[oi].fresh.size();) {
+          OpTrace cand = cur;
+          auto& keys = cand.ops[oi].fresh;
+          keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(i),
+                     keys.begin() + static_cast<std::ptrdiff_t>(i + chunk));
+          if (attempt(std::move(cand))) {
+            progress = true;
+          } else {
+            i += chunk;
+          }
+          if (st.attempts >= max_attempts) break;
+        }
+        if (chunk == 1 || st.attempts >= max_attempts) break;
+      }
+    }
+
+    // Pass 4: shrink deletion budgets (zero first, then halving).
+    for (std::size_t oi = 0; oi < cur.ops.size(); ++oi) {
+      while (cur.ops[oi].k > 0 && st.attempts < max_attempts) {
+        OpTrace cand = cur;
+        cand.ops[oi].k = cand.ops[oi].k > 2 ? cand.ops[oi].k / 2 : 0;
+        if (!attempt(std::move(cand))) break;
+        progress = true;
+      }
+    }
+
+    // Pass 5: canonicalize key values toward zero.
+    for (std::size_t oi = 0; oi < cur.ops.size(); ++oi) {
+      for (std::size_t j = 0; j < cur.ops[oi].fresh.size(); ++j) {
+        if (cur.ops[oi].fresh[j] == 0) continue;
+        OpTrace cand = cur;
+        cand.ops[oi].fresh[j] = 0;
+        if (attempt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+        while (cur.ops[oi].fresh[j] > 1 && st.attempts < max_attempts) {
+          cand = cur;
+          cand.ops[oi].fresh[j] /= 2;
+          if (!attempt(std::move(cand))) break;
+          progress = true;
+        }
+        if (st.attempts >= max_attempts) break;
+      }
+      if (st.attempts >= max_attempts) break;
+    }
+  }
+
+  if (stats_out) *stats_out = st;
+  return cur;
+}
+
+}  // namespace ph::testing

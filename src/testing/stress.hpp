@@ -1,0 +1,137 @@
+// Stress driver: the long-running randomized differential soak.
+//
+// Sweeps (structure × node capacity × key bound × seed round), generating an
+// adversarial trace per combination and running it differentially against
+// the oracle (differential.hpp). On failure the trace is minimized
+// (shrink.hpp) and written as a self-contained reproducer file that
+// tools/ph_repro replays from the file alone. Everything is derived from one
+// master seed, so a whole soak is reproducible by seed; a wall-clock budget
+// bounds CI runs without sacrificing that determinism for the traces that
+// did run (the sweep order is fixed — a budget only truncates it).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "testing/differential.hpp"
+#include "testing/op_trace.hpp"
+#include "testing/shrink.hpp"
+#include "testing/structures.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ph::testing {
+
+struct StressConfig {
+  std::vector<std::string> structures;  ///< empty → default_structures()
+  std::vector<std::size_t> r_values = {1, 2, 3, 8, 32};
+  std::vector<std::uint64_t> key_bounds = {std::uint64_t{1} << 16,
+                                           std::uint64_t{1} << 40};
+  std::size_t cycles = 400;     ///< ops per trace
+  std::size_t rounds = 2;       ///< seeds per (structure, r, key bound)
+  std::uint64_t seed = 1;       ///< master seed
+  double time_budget_s = 0;     ///< stop starting new traces after this (0 = off)
+  bool shrink = true;           ///< minimize failing traces
+  std::size_t shrink_attempts = 4000;
+  std::size_t max_failures = 4;  ///< stop the soak after this many failures
+  std::string repro_dir;         ///< write reproducer files here ("" = don't)
+};
+
+struct StressFailure {
+  OpTrace trace;        ///< minimized (if cfg.shrink) failing trace
+  DiffFailure failure;  ///< failure the minimized trace reproduces
+  std::string repro_path;  ///< reproducer file ("" if repro_dir unset or write failed)
+};
+
+struct StressReport {
+  std::size_t traces_run = 0;
+  std::size_t cycles_run = 0;
+  std::size_t traces_skipped = 0;  ///< sweep combinations unvisited (budget/failure cap)
+  double seconds = 0;
+  std::vector<StressFailure> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+};
+
+namespace stress_detail {
+inline std::string repro_filename(const OpTrace& t) {
+  return t.structure + "_r" + std::to_string(t.r) + "_seed" +
+         std::to_string(t.seed) + ".repro";
+}
+}  // namespace stress_detail
+
+inline StressReport run_stress(const StressConfig& cfg, std::ostream* log = nullptr) {
+  const std::vector<std::string>& structures =
+      cfg.structures.empty() ? default_structures() : cfg.structures;
+  StressReport rep;
+  Timer wall;
+  SplitMix64 seeder(cfg.seed ^ 0x5bf0f5b7c0e1a2d3ull);
+
+  for (const std::string& structure : structures) {
+    for (const std::size_t r : cfg.r_values) {
+      for (const std::uint64_t key_bound : cfg.key_bounds) {
+        for (std::size_t round = 0; round < cfg.rounds; ++round) {
+          // Seeds are consumed in fixed sweep order, so every trace is
+          // reproducible from the master seed regardless of failures.
+          const std::uint64_t trace_seed = seeder.next();
+          const bool out_of_budget =
+              cfg.time_budget_s > 0 && wall.seconds() >= cfg.time_budget_s;
+          if (out_of_budget || rep.failures.size() >= cfg.max_failures) {
+            ++rep.traces_skipped;
+            continue;
+          }
+          GenConfig gen;
+          gen.r = r;
+          gen.cycles = cfg.cycles;
+          gen.key_bound = key_bound;
+          gen.seed = trace_seed;
+          OpTrace trace = generate_trace(gen);
+          trace.structure = structure;
+          ++rep.traces_run;
+          rep.cycles_run += trace.ops.size();
+          DiffFailure f = run_trace(trace);
+          if (!f.failed) continue;
+
+          if (log) {
+            *log << "stress: FAIL " << structure << " r=" << r
+                 << " seed=" << trace_seed << ": " << f.message << "\n";
+          }
+          StressFailure sf;
+          if (cfg.shrink) {
+            ShrinkStats st;
+            sf.trace = shrink_trace(trace, run_trace, cfg.shrink_attempts, &st);
+            sf.failure = run_trace(sf.trace);
+            if (log) {
+              *log << "stress: shrunk to " << sf.trace.ops.size() << " ops / "
+                   << sf.trace.total_keys() << " keys ("
+                   << st.attempts << " attempts)\n";
+            }
+          } else {
+            sf.trace = std::move(trace);
+            sf.failure = std::move(f);
+          }
+          if (!cfg.repro_dir.empty()) {
+            const std::string path =
+                cfg.repro_dir + "/" + stress_detail::repro_filename(sf.trace);
+            std::ofstream os(path);
+            if (os) {
+              os << sf.trace.to_text();
+              sf.repro_path = path;
+              if (log) *log << "stress: reproducer written to " << path << "\n";
+            } else if (log) {
+              *log << "stress: cannot write reproducer " << path << "\n";
+            }
+          }
+          rep.failures.push_back(std::move(sf));
+        }
+      }
+    }
+  }
+  rep.seconds = wall.seconds();
+  return rep;
+}
+
+}  // namespace ph::testing

@@ -1,0 +1,189 @@
+// Registry of every batch-PQ structure the stress harness can drive.
+//
+// A structure is named by a string (stored inside each OpTrace, so a
+// reproducer file is self-contained) and constructed fresh per run from the
+// trace's node capacity r. All structures are driven through the common
+// cycle(fresh, k, out) interface; per-structure invariant strides account
+// for the cost/side effects of their check_invariants (the pipelined heap's
+// check drains the pipeline, so it runs rarely — the per-cycle deletion
+// stream is the primary detector there).
+//
+// "pipelined_heap_faulty" re-introduces the documented delete-update
+// revert-note bug (skip the deferred child re-service when the stale
+// violation check looks clean; see pipelined_heap.hpp) and exists so the
+// harness can prove it detects exactly the class of bug differential testing
+// caught historically. It is not part of default_structures().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/binary_heap.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "baselines/dary_heap.hpp"
+#include "baselines/leftist_heap.hpp"
+#include "baselines/locked_pq.hpp"
+#include "baselines/pairing_heap.hpp"
+#include "baselines/pq_concepts.hpp"
+#include "baselines/skew_heap.hpp"
+#include "core/parallel_heap.hpp"
+#include "core/pipelined_heap.hpp"
+#include "core/stable_heap.hpp"
+#include "testing/differential.hpp"
+#include "testing/op_trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ph::testing {
+
+/// Drives StableParallelHeap through the plain uint64 cycle interface
+/// (entries carry null payloads — allowed by the stable heap's contract).
+class StableHeapBatchAdapter {
+ public:
+  explicit StableHeapBatchAdapter(std::size_t r) : h_(r) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    entries_.clear();
+    for (std::uint64_t key : fresh) entries_.push_back({key, nullptr});
+    eout_.clear();
+    const std::size_t n = h_.cycle(entries_, k, eout_);
+    for (const auto& e : eout_) out.push_back(e.key);
+    return n;
+  }
+
+  bool check_invariants(std::string* why) { return h_.heap().check_invariants(why); }
+
+ private:
+  using Heap = StableParallelHeap<std::uint64_t, char>;
+  Heap h_;
+  std::vector<Heap::Entry> entries_;
+  std::vector<Heap::Entry> eout_;
+};
+
+namespace structures_detail {
+struct U64Key {
+  double operator()(std::uint64_t v) const noexcept { return static_cast<double>(v); }
+};
+}  // namespace structures_detail
+
+/// Pipelined heap whose half-steps dispatch node groups across a real
+/// ThreadTeam (the engine's maintenance-path idiom, engine.hpp). The
+/// deletion stream must be identical to "pipelined_heap" — group order is
+/// irrelevant by design — so this both differentially tests the parallel
+/// dispatch path and gives schedule-fuzzed soaks ThreadTeam/SenseBarrier
+/// crossings to perturb on every cycle.
+class MtPipelinedHeapAdapter {
+ public:
+  explicit MtPipelinedHeapAdapter(std::size_t r, unsigned threads = 2)
+      : q_(r), team_(threads, /*pin=*/false, "stress-maint"), ctx_(threads) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    advance_mt(1);
+    const std::size_t n = q_.root_work_public(fresh, k, out);
+    advance_mt(0);
+    return n;
+  }
+
+  bool check_invariants(std::string* why) { return q_.check_invariants(why); }
+
+ private:
+  using Heap = PipelinedParallelHeap<std::uint64_t>;
+
+  void advance_mt(std::size_t parity) {
+    q_.advance_with(
+        parity, [this](std::size_t ngroups,
+                       const std::function<void(std::size_t, Heap::ServiceCtx&)>& fn) {
+          const unsigned mt = team_.size();
+          team_.run([&](unsigned tid) {
+            for (std::size_t g = tid; g < ngroups; g += mt) fn(g, ctx_[tid]);
+          });
+          for (auto& c : ctx_) q_.merge_ctx(c);
+        });
+  }
+
+  Heap q_;
+  ThreadTeam team_;
+  std::vector<Heap::ServiceCtx> ctx_;
+};
+
+/// The structures every stress run covers by default.
+inline const std::vector<std::string>& default_structures() {
+  static const std::vector<std::string> names = {
+      "parallel_heap",      "parallel_heap_d4",   "pipelined_heap",
+      "pipelined_heap_mt",  "stable_heap",        "locked_binary_heap",
+      "batch_binary_heap",  "batch_dary4_heap",   "batch_skew_heap",
+      "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue"};
+  return names;
+}
+
+/// Runs `trace` against the structure it names (fresh instance) and the
+/// oracle. Unknown names fail immediately rather than passing vacuously.
+inline DiffFailure run_trace(const OpTrace& t) {
+  using U64 = std::uint64_t;
+  const std::string& s = t.structure;
+  DiffOptions opt;
+  if (s == "parallel_heap") {
+    opt.invariant_stride = 1;  // non-mutating full-tree scan
+    ParallelHeap<U64> q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "parallel_heap_d4") {
+    opt.invariant_stride = 1;
+    ParallelHeap<U64> q(t.r, {}, 4);
+    return run_differential(q, t, opt);
+  }
+  if (s == "pipelined_heap" || s == "pipelined_heap_faulty") {
+    opt.invariant_stride = 64;  // check drains the pipeline: keep it rare
+    PipelinedParallelHeap<U64> q(t.r);
+    if (s == "pipelined_heap_faulty") {
+      q.inject_fault_for_testing(
+          PipelinedParallelHeap<U64>::InjectedFault::kSkipDeferredReservice);
+    }
+    return run_differential(q, t, opt);
+  }
+  if (s == "pipelined_heap_mt") {
+    opt.invariant_stride = 64;
+    MtPipelinedHeapAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "stable_heap") {
+    opt.invariant_stride = 64;
+    StableHeapBatchAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "locked_binary_heap") {
+    LockedPQ<BinaryHeap<U64>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_binary_heap") {
+    BatchAdapter<BinaryHeap<U64>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_dary4_heap") {
+    BatchAdapter<DaryHeap<U64, 4>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_skew_heap") {
+    BatchAdapter<SkewHeap<U64>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_pairing_heap") {
+    BatchAdapter<PairingHeap<U64>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_leftist_heap") {
+    BatchAdapter<LeftistHeap<U64>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "batch_calendar_queue") {
+    BatchAdapter<CalendarQueue<U64, structures_detail::U64Key>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  return {true, 0, "unknown structure '" + s + "' (see structures.hpp)"};
+}
+
+}  // namespace ph::testing

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "testing/sched_fuzz.hpp"
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
 
@@ -30,13 +31,16 @@ class SenseBarrier {
   /// thread must carry its own `local_sense`, initialized to false, across
   /// calls (ThreadTeam does this for its members).
   void arrive_and_wait(bool& local_sense) noexcept {
+    testing::sched_point(testing::SchedPoint::kBarrierArrive);
     local_sense = !local_sense;
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last arriver: reset the count and release everyone.
+      testing::sched_point(testing::SchedPoint::kBarrierRelease);
       remaining_.store(parties_, std::memory_order_relaxed);
       crossings_.fetch_add(1, std::memory_order_relaxed);
       sense_.store(local_sense, std::memory_order_release);
     } else {
+      testing::sched_point(testing::SchedPoint::kBarrierSpin);
       std::uint32_t spins = 0;
       while (sense_.load(std::memory_order_acquire) != local_sense) {
         if (++spins > 1024) std::this_thread::yield();

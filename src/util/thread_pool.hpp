@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "testing/sched_fuzz.hpp"
 #include "util/affinity.hpp"
 #include "util/assert.hpp"
 
@@ -70,6 +71,7 @@ class ThreadTeam {
   /// own work with the team — this is how the engine overlaps the think
   /// phase with heap maintenance.
   void begin(const std::function<void(unsigned)>& fn) {
+    testing::sched_point(testing::SchedPoint::kTeamDispatch);
     std::lock_guard lk(mu_);
     PH_ASSERT_MSG(pending_ == 0, "ThreadTeam::begin while a phase is active");
     task_ = &fn;
@@ -111,7 +113,9 @@ class ThreadTeam {
         if (stop_) return;
         task = task_;
       }
+      testing::sched_point(testing::SchedPoint::kTeamTaskStart);
       (*task)(tid);
+      testing::sched_point(testing::SchedPoint::kTeamTaskDone);
       {
         std::lock_guard lk(mu_);
         if (--pending_ == 0) done_cv_.notify_all();

@@ -33,14 +33,28 @@ class Timer {
 /// into think / maintenance / barrier components.
 class PhaseTimer {
  public:
-  void start() noexcept { t_.reset(); }
-  void stop() noexcept { total_ += t_.seconds(); }
+  void start() noexcept {
+    armed_ = true;
+    t_.reset();
+  }
+  /// Accumulates the episode opened by the matching start(). A stop()
+  /// without one (or a second stop()) is a no-op rather than folding in
+  /// time measured from an arbitrary earlier origin.
+  void stop() noexcept {
+    if (!armed_) return;
+    armed_ = false;
+    total_ += t_.seconds();
+  }
   double total_seconds() const noexcept { return total_; }
-  void clear() noexcept { total_ = 0.0; }
+  void clear() noexcept {
+    total_ = 0.0;
+    armed_ = false;
+  }
 
  private:
   Timer t_;
   double total_ = 0.0;
+  bool armed_ = false;
 };
 
 }  // namespace ph

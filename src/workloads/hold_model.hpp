@@ -14,6 +14,7 @@
 // bit-identical work.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -53,8 +54,13 @@ HoldResult batch_hold(Q& q, const HoldConfig& cfg, std::size_t batch) {
   HoldResult res;
   std::vector<std::uint64_t> deleted, fresh;
   while (res.ops < cfg.ops) {
+    // Truncate the final cycle so the run performs exactly cfg.ops holds —
+    // a full batch here would overshoot by up to batch-1 ops, skewing
+    // throughput-per-op comparisons across batch sizes.
+    const std::size_t k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch, cfg.ops - res.ops));
     deleted.clear();
-    q.cycle(fresh, batch, deleted);
+    q.cycle(fresh, k, deleted);
     fresh.clear();
     for (std::uint64_t t : deleted) {
       if (cfg.grain != 0) res.sink ^= spin_work(cfg.grain, t);

@@ -6,6 +6,7 @@
 // on to produce BENCH_*.json trajectories mechanically.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdlib>
@@ -145,6 +146,19 @@ TEST_F(BenchOutput, ChromeTraceParsesWithBalancedEvents) {
               span_names.count("odd_half_step"));
   EXPECT_TRUE(span_names.count("think"));
 #endif
+}
+
+TEST(BenchArgs, EmptyOutputPathIsRejected) {
+  // Regression: "--json=" / "--trace=" (and an explicit empty argument) used
+  // to be accepted and then silently skipped at exit — the caller asked for
+  // a file and never got one. parse_args must reject them with exit code 2.
+  const std::string bin(PH_BENCH_CYCLE_SCALING_BIN);
+  for (const char* args : {" --json=", " --trace=", " --json ''", " --trace ''"}) {
+    const int status =
+        std::system((bin + args + " > /dev/null 2>&1").c_str());
+    ASSERT_TRUE(WIFEXITED(status)) << args;
+    EXPECT_EQ(WEXITSTATUS(status), 2) << args;
+  }
 }
 
 }  // namespace

@@ -94,6 +94,30 @@ TEST(LogHistogram, PercentileMatchesSortedOracle) {
   }
 }
 
+TEST(LogHistogram, PercentilesStayInsideObservedEnvelope) {
+  // Regression: percentile() used to return the raw bucket upper edge, so
+  // p0/p-low could undershoot the recorded minimum (all samples in one
+  // bucket, min above the bucket's midpoint) and tiny-count histograms
+  // reported values outside [min, max].
+  LogHistogram h;
+  h.record(1000);  // bucket [960, 1023] — upper edge above, lower edge below
+  h.record(1010);
+  const HistogramSnapshot snap = h.snapshot();
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const std::uint64_t v = snap.percentile(p);
+    EXPECT_GE(v, snap.min()) << "p=" << p;
+    EXPECT_LE(v, snap.max()) << "p=" << p;
+  }
+  // p0 is by definition the smallest recorded sample.
+  EXPECT_EQ(snap.percentile(0.0), 1000u);
+
+  // Single-sample histogram: every percentile is that sample.
+  LogHistogram one;
+  one.record(777);
+  const HistogramSnapshot s1 = one.snapshot();
+  for (const double p : {0.0, 50.0, 100.0}) EXPECT_EQ(s1.percentile(p), 777u);
+}
+
 TEST(LogHistogram, MergeEqualsCombinedRecording) {
   Xoshiro256 rng(29);
   LogHistogram a, b, combined;

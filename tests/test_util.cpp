@@ -14,6 +14,7 @@
 #include "util/spinlock.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace ph {
 namespace {
@@ -213,6 +214,36 @@ TEST(Stats, SummaryRejectsNaN) {
   EXPECT_EQ(t.count(), 1u);
   EXPECT_DOUBLE_EQ(t.min(), 1.0);
   EXPECT_DOUBLE_EQ(t.max(), 1.0);
+}
+
+TEST(PhaseTimer, UnmatchedStopIsNoOp) {
+  // Regression: stop() without a matching start() used to fold in time
+  // measured from the timer's construction (an arbitrary origin).
+  PhaseTimer t;
+  t.stop();
+  EXPECT_EQ(t.total_seconds(), 0.0);
+
+  t.start();
+  t.stop();
+  const double after_episode = t.total_seconds();
+  EXPECT_GE(after_episode, 0.0);
+  t.stop();  // second stop of the same episode: must not accumulate again
+  EXPECT_EQ(t.total_seconds(), after_episode);
+
+  t.clear();
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  t.stop();  // clear() disarms too
+  EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(PhaseTimer, AccumulatesAcrossEpisodes) {
+  PhaseTimer t;
+  t.start();
+  t.stop();
+  const double one = t.total_seconds();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.total_seconds(), one);
 }
 
 TEST(Stats, RegistryAccumulates) {

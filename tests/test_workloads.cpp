@@ -110,6 +110,27 @@ TEST(HoldModel, BatchHoldMatchesAcrossStructures) {
   EXPECT_EQ(ra.sink, rb.sink);
 }
 
+TEST(HoldModel, BatchHoldPerformsExactlyConfiguredOps) {
+  // Regression: when cfg.ops is not a multiple of the batch size, the final
+  // cycle used to run (and count) a full batch, overshooting by up to
+  // batch-1 ops and skewing per-op throughput across batch sizes.
+  HoldConfig cfg;
+  cfg.n = 512;
+  cfg.ops = 1000;  // 1000 = 15*64 + 40: the last cycle must truncate to 40
+  cfg.grain = 4;
+  BatchAdapter<BinaryHeap<std::uint64_t>, std::uint64_t> q;
+  q.insert_batch(hold_initial(cfg));
+  const HoldResult res = batch_hold(q, cfg, 64);
+  EXPECT_EQ(res.ops, cfg.ops);
+  EXPECT_EQ(q.size(), cfg.n);
+
+  // Equal op counts even when the batch sizes divide cfg.ops differently.
+  BatchAdapter<BinaryHeap<std::uint64_t>, std::uint64_t> p;
+  p.insert_batch(hold_initial(cfg));
+  const HoldResult res48 = batch_hold(p, cfg, 48);
+  EXPECT_EQ(res48.ops, cfg.ops);
+}
+
 TEST(HoldModel, ScalarHoldRunsOnPairingHeap) {
   HoldConfig cfg;
   cfg.n = 256;

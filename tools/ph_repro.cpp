@@ -1,0 +1,64 @@
+// ph_repro — replays a reproducer file written by the stress harness.
+//
+//   ph_repro <file>                # exit 0 iff the trace passes
+//   ph_repro <file> --expect-fail  # exit 0 iff the trace still fails
+//                                  # (pin a known-bad trace in CI until fixed)
+//
+// The file is self-contained (structure name, node capacity, seed, op list;
+// see op_trace.hpp), so a failure found by a soak anywhere replays bit-
+// identically from the file alone.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "testing/op_trace.hpp"
+#include "testing/structures.hpp"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool expect_fail = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-fail") == 0) {
+      expect_fail = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <repro-file> [--expect-fail]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s <repro-file> [--expect-fail]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "ph_repro: cannot open %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  ph::testing::OpTrace trace;
+  std::string err;
+  if (!ph::testing::OpTrace::from_text(buf.str(), trace, &err)) {
+    std::fprintf(stderr, "ph_repro: %s: %s\n", path, err.c_str());
+    return 2;
+  }
+
+  std::printf("ph_repro: %s r=%zu seed=%llu ops=%zu keys=%zu\n",
+              trace.structure.c_str(), trace.r,
+              static_cast<unsigned long long>(trace.seed), trace.ops.size(),
+              trace.total_keys());
+  const ph::testing::DiffFailure f = ph::testing::run_trace(trace);
+  if (f.failed) {
+    std::printf("ph_repro: FAIL at op %zu: %s\n", f.op_index, f.message.c_str());
+  } else {
+    std::printf("ph_repro: PASS\n");
+  }
+  if (expect_fail) return f.failed ? 0 : 1;
+  return f.failed ? 1 : 0;
+}

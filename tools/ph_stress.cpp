@@ -1,0 +1,161 @@
+// ph_stress — the randomized differential soak, as a CLI.
+//
+// Sweeps every registered batch-PQ structure (or a named subset) against the
+// sorted-multiset oracle over seeded adversarial traces; failing traces are
+// minimized and written as reproducer files that ph_repro replays.
+//
+//   ph_stress                         # default soak, exit 0 iff clean
+//   ph_stress --seed 7 --rounds 4     # more seeds per combination
+//   ph_stress --budget 60             # stop starting traces after 60s
+//   ph_stress --structures pipelined_heap_faulty --must-fail
+//                                     # CI detection proof: exit 0 iff the
+//                                     # injected fault was caught
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "testing/sched_fuzz.hpp"
+#include "testing/stress.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --seed N            master seed (default 1)\n"
+               "  --rounds N          seeds per (structure, r, key bound) (default 2)\n"
+               "  --cycles N          ops per trace (default 400)\n"
+               "  --r LIST            comma-separated node capacities (default 1,2,3,8,32)\n"
+               "  --key-bounds LIST   comma-separated key bounds (default 65536,2^40)\n"
+               "  --structures LIST   comma-separated structure names (default: all)\n"
+               "  --repro-dir DIR     write reproducer files for failures\n"
+               "  --budget SECONDS    stop starting new traces after this\n"
+               "  --max-failures N    stop the soak after N failures (default 4)\n"
+               "  --shrink-attempts N minimizer budget per failure (default 4000)\n"
+               "  --no-shrink         keep failing traces unminimized\n"
+               "  --sched-fuzz SEED   arm the schedule perturbation hooks (if compiled in)\n"
+               "  --must-fail         invert the exit code: 0 iff failures were found\n",
+               argv0);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const char* s, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "ph_stress: bad %s '%s'\n", what, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ph::testing::StressConfig cfg;
+  bool must_fail = false;
+  bool sched_fuzz = false;
+  std::uint64_t sched_fuzz_seed = 0;
+
+  auto value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "ph_stress: %s requires an argument\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--seed") == 0) {
+      cfg.seed = parse_u64(value(i, a), "seed");
+    } else if (std::strcmp(a, "--rounds") == 0) {
+      cfg.rounds = parse_u64(value(i, a), "rounds");
+    } else if (std::strcmp(a, "--cycles") == 0) {
+      cfg.cycles = parse_u64(value(i, a), "cycles");
+    } else if (std::strcmp(a, "--r") == 0) {
+      cfg.r_values.clear();
+      for (const auto& tok : split_csv(value(i, a))) {
+        cfg.r_values.push_back(parse_u64(tok.c_str(), "r"));
+      }
+    } else if (std::strcmp(a, "--key-bounds") == 0) {
+      cfg.key_bounds.clear();
+      for (const auto& tok : split_csv(value(i, a))) {
+        cfg.key_bounds.push_back(parse_u64(tok.c_str(), "key bound"));
+      }
+    } else if (std::strcmp(a, "--structures") == 0) {
+      cfg.structures = split_csv(value(i, a));
+    } else if (std::strcmp(a, "--repro-dir") == 0) {
+      cfg.repro_dir = value(i, a);
+    } else if (std::strcmp(a, "--budget") == 0) {
+      cfg.time_budget_s = std::strtod(value(i, a), nullptr);
+    } else if (std::strcmp(a, "--max-failures") == 0) {
+      cfg.max_failures = parse_u64(value(i, a), "max failures");
+    } else if (std::strcmp(a, "--shrink-attempts") == 0) {
+      cfg.shrink_attempts = parse_u64(value(i, a), "shrink attempts");
+    } else if (std::strcmp(a, "--no-shrink") == 0) {
+      cfg.shrink = false;
+    } else if (std::strcmp(a, "--sched-fuzz") == 0) {
+      sched_fuzz = true;
+      sched_fuzz_seed = parse_u64(value(i, a), "sched fuzz seed");
+    } else if (std::strcmp(a, "--must-fail") == 0) {
+      must_fail = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "ph_stress: unknown option '%s'\n", a);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (sched_fuzz) {
+    if (!ph::testing::kSchedFuzz) {
+      std::fprintf(stderr,
+                   "ph_stress: --sched-fuzz requested but the hooks are not "
+                   "compiled in (build with -DPH_SCHED_FUZZ=ON)\n");
+      return 2;
+    }
+    ph::testing::sched_fuzz_enable(sched_fuzz_seed);
+  }
+
+  const ph::testing::StressReport rep = ph::testing::run_stress(cfg, &std::cerr);
+
+  std::printf("stress: %zu traces (%zu cycles) in %.1fs, %zu skipped, %zu failures\n",
+              rep.traces_run, rep.cycles_run, rep.seconds, rep.traces_skipped,
+              rep.failures.size());
+  for (const auto& f : rep.failures) {
+    std::printf("stress: FAIL %s r=%zu seed=%llu op=%zu: %s\n",
+                f.trace.structure.c_str(), f.trace.r,
+                static_cast<unsigned long long>(f.trace.seed), f.failure.op_index,
+                f.failure.message.c_str());
+    if (!f.repro_path.empty()) {
+      std::printf("stress: repro %s\n", f.repro_path.c_str());
+    }
+  }
+  if (ph::testing::kSchedFuzz && sched_fuzz) {
+    std::printf("stress: sched-fuzz perturbations=%llu\n",
+                static_cast<unsigned long long>(
+                    ph::testing::sched_fuzz_perturbations()));
+  }
+
+  if (must_fail) return rep.ok() ? 1 : 0;
+  return rep.ok() ? 0 : 1;
+}
