@@ -6,7 +6,9 @@
 // current day forward, completing at most one year before falling back to a
 // direct minimum search. The bucket count doubles/halves as the queue grows
 // and shrinks, and the width is re-estimated from a sample of inter-event
-// gaps (Brown's heuristic).
+// gaps (Brown's heuristic) — both when a resize triggers it and periodically
+// (every ~2·size pops) so a stationary-size queue with a drifting gap
+// distribution doesn't keep a stale width forever.
 //
 // Requirements: Key(T) -> double must be non-negative. Brown designed the
 // structure as an *event set*: every insertion is at or after the last
@@ -20,6 +22,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -49,8 +52,23 @@ class CalendarQueue {
   T pop() {
     PH_ASSERT(!empty());
     T out = dequeue();
+    ++pops_since_estimate_;
     if (size_ < buckets_.size() / 2 && buckets_.size() > 2) {
       resize(buckets_.size() / 2);
+    } else if (size_ >= 2 && pops_since_estimate_ > 2 * size_ + 32) {
+      // Brown's periodic re-estimation: width was previously refreshed only
+      // by resizes, so a queue whose *size* is stationary but whose gap
+      // distribution drifts kept a stale width forever — days end up holding
+      // ~all events (width too wide) or the year scan walks ~all buckets
+      // (width too narrow), degrading dequeue to O(n) scans. Re-sample every
+      // ~2·size pops (amortized O(1)) and rebuild only on real drift, so
+      // stationary-gap workloads never pay for a rebuild.
+      const double w = estimate_width();
+      pops_since_estimate_ = 0;
+      if (w > 2.0 * width_ || w < 0.5 * width_) {
+        rebuild(buckets_.size(), w);
+        ++width_reestimates_;
+      }
     }
     return out;
   }
@@ -64,6 +82,11 @@ class CalendarQueue {
     PH_ASSERT(best != nullptr);
     return *best;
   }
+
+  /// Current day width (testing/diagnostics).
+  double current_width() const noexcept { return width_; }
+  /// Rebuilds performed by the periodic drift re-estimation (not resizes).
+  std::uint64_t width_reestimates() const noexcept { return width_reestimates_; }
 
   bool check_invariants() const {
     std::size_t n = 0;
@@ -226,8 +249,12 @@ class CalendarQueue {
     return w > 0 ? w : width_;
   }
 
-  void resize(std::size_t nbuckets) {
-    const double w = estimate_width();
+  void resize(std::size_t nbuckets) { rebuild(nbuckets, estimate_width()); }
+
+  /// Re-initializes with `nbuckets` buckets of width `w` and re-enqueues
+  /// everything (resizes and drift re-estimations share this path).
+  void rebuild(std::size_t nbuckets, double w) {
+    pops_since_estimate_ = 0;
     old_.clear();
     for (auto& b : buckets_) {
       old_.insert(old_.end(), b.begin(), b.end());
@@ -246,6 +273,8 @@ class CalendarQueue {
   double cur_day_ = 0.0;    ///< integer day index the calendar is at
   bool has_past_ = false;   ///< an insertion went behind the clock
   std::size_t size_ = 0;
+  std::size_t pops_since_estimate_ = 0;   ///< periodic re-estimation clock
+  std::uint64_t width_reestimates_ = 0;   ///< drift rebuilds performed
   std::vector<T> sample_, old_;  // scratch
 };
 

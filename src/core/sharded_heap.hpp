@@ -1,0 +1,350 @@
+// ShardedHeap — a key-range-sharded front end over K independent
+// PipelinedParallelHeap engine instances, the first step of ROADMAP's
+// "scale past one engine instance" item.
+//
+// The parallel heap's per-cycle contract — insert a batch, delete the k
+// globally smallest — is preserved across shards by a three-part protocol:
+//
+//   1. Route. Each cycle's insert batch is split by a key-range partition
+//      map (KeyRangePartitioner): shard i owns keys in [split[i-1],
+//      split[i]). Splits start as quantiles of the first batch and are
+//      periodically re-estimated from a rolling sample of recent inserts
+//      (the MultiQueues/PIPQ pressure-relief move: relax one hot structure
+//      into many, rebalance instead of serializing).
+//
+//   2. Pull + K-way merge. Every shard runs one pipelined cycle with a full
+//      deletion budget of k, yielding its own k smallest as a sorted
+//      prefix. The global k smallest are then selected by a K-way
+//      tournament over those prefixes (ties resolved by shard index, which
+//      under multiset key semantics matches the sorted-multiset oracle
+//      exactly). The global batch is a subset of the union of per-shard
+//      prefixes by construction, so the merge never needs to look past
+//      them. A shard whose local minimum exceeds another shard's k-th key
+//      contributes nothing — its whole prefix is returned in step 3 — and
+//      an empty shard participates as an empty prefix.
+//
+//   3. Putback. Prefix items that lost the tournament are re-inserted into
+//      the shard they came from via an insert-only cycle (k = 0). Putback
+//      traffic is the price of not peeking across shards and is counted
+//      (ShardedStats::putbacks, telemetry kShardPutbacks); a well-balanced
+//      partition map keeps it near zero because the winning prefix comes
+//      from few shards (merge width ≈ 1).
+//
+// Rebalancing never migrates stored items: a new partition map only routes
+// *future* inserts, so shard contents may overlap in key range after a
+// rebalance. Step 2 deliberately assumes nothing about range disjointness —
+// the tournament is a general K-way merge — which is what makes "rebalance
+// while items are in flight" safe (test_sharded.cpp pins this).
+//
+// With K = 1 the protocol degenerates to exactly one pipelined cycle per
+// global cycle — no routing decisions, no putback — so sharded_heap<K=1>
+// is bit-for-bit the unsharded PipelinedParallelHeap (pinned by
+// test_sharded.cpp and the differential harness).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipelined_heap.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/assert.hpp"
+
+namespace ph {
+
+/// Sharding counters, additive to each shard's own HeapStats/PipelineStats.
+struct ShardedStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t routed = 0;          ///< items routed to shards (inserts)
+  std::uint64_t routed_max_sum = 0;  ///< per-cycle max shard share, summed
+  std::uint64_t putbacks = 0;        ///< pulled-but-not-taken items returned
+  std::uint64_t rebalances = 0;      ///< partition-map re-estimations applied
+  std::uint64_t merge_width_sum = 0; ///< shards contributing >=1 item, summed
+
+  /// Mean routing imbalance: K * max-share / fair-share (1.0 = perfectly
+  /// balanced, K = everything lands on one shard). NaN-free: 0 when idle.
+  double imbalance(std::size_t shards) const noexcept {
+    if (routed == 0) return 0.0;
+    return static_cast<double>(shards) * static_cast<double>(routed_max_sum) /
+           static_cast<double>(routed);
+  }
+  /// Mean number of shards contributing to a deletion batch.
+  double avg_merge_width() const noexcept {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(merge_width_sum) / static_cast<double>(cycles);
+  }
+};
+
+/// Key-range partition map: K-1 sorted split values of T; an item routes to
+/// the number of splits at or below it. Static splits plus sample-based
+/// re-estimation (quantiles of a recent-insert sample).
+template <typename T, typename Compare = std::less<T>>
+class KeyRangePartitioner {
+ public:
+  explicit KeyRangePartitioner(std::size_t shards, Compare cmp = Compare())
+      : shards_(shards), cmp_(std::move(cmp)) {
+    PH_ASSERT(shards_ >= 1);
+  }
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  /// Partition of `v`: the count of splits <= v, i.e. shard i owns
+  /// [split[i-1], split[i]). Total: every value of T routes to exactly one
+  /// shard, and route is monotone under Compare.
+  std::size_t route(const T& v) const {
+    const auto it = std::upper_bound(splits_.begin(), splits_.end(), v,
+                                     [this](const T& a, const T& b) {
+                                       return cmp_(a, b);
+                                     });
+    return static_cast<std::size_t>(it - splits_.begin());
+  }
+
+  /// Current split values (size shards-1; empty until the first rebalance
+  /// when K > 1, which routes everything to the last shard — valid, merely
+  /// unbalanced).
+  const std::vector<T>& splits() const noexcept { return splits_; }
+
+  /// Installs an explicit map (must be sorted ascending, size shards-1).
+  void set_splits(std::vector<T> splits) {
+    PH_ASSERT(splits.size() + 1 == shards_);
+    PH_ASSERT(std::is_sorted(splits.begin(), splits.end(),
+                             [this](const T& a, const T& b) { return cmp_(a, b); }));
+    splits_ = std::move(splits);
+  }
+
+  /// Re-estimates the splits as the K-quantiles of `sample`. An empty
+  /// sample (or K = 1) leaves the map unchanged. Duplicate-heavy samples
+  /// may produce equal splits; route() stays total (the duplicated range
+  /// simply has empty shards between its bounds).
+  void rebalance(std::span<const T> sample) {
+    if (shards_ == 1 || sample.empty()) return;
+    scratch_.assign(sample.begin(), sample.end());
+    std::sort(scratch_.begin(), scratch_.end(),
+              [this](const T& a, const T& b) { return cmp_(a, b); });
+    splits_.clear();
+    splits_.reserve(shards_ - 1);
+    for (std::size_t i = 1; i < shards_; ++i) {
+      splits_.push_back(scratch_[i * scratch_.size() / shards_]);
+    }
+  }
+
+ private:
+  std::size_t shards_;
+  Compare cmp_;
+  std::vector<T> splits_;
+  std::vector<T> scratch_;
+};
+
+template <typename T, typename Compare = std::less<T>>
+class ShardedHeap {
+ public:
+  using Shard = PipelinedParallelHeap<T, Compare>;
+
+  struct Config {
+    std::size_t shards = 1;
+    /// Re-estimate the partition map every this many cycles from the
+    /// rolling insert sample (0 = static splits after the seeding batch).
+    std::size_t rebalance_interval = 0;
+    /// Rolling sample size backing re-estimation.
+    std::size_t sample_capacity = 1024;
+  };
+
+  ShardedHeap(std::size_t node_capacity, Config cfg, Compare cmp = Compare())
+      : r_(node_capacity),
+        cfg_(cfg),
+        cmp_(cmp),
+        part_(cfg.shards == 0 ? 1 : cfg.shards, cmp) {
+    PH_ASSERT(r_ >= 1);
+    if (cfg_.shards == 0) cfg_.shards = 1;
+    if (cfg_.sample_capacity == 0) cfg_.sample_capacity = 1;
+    shards_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      shards_.emplace_back(r_, cmp_);
+    }
+    route_buf_.resize(cfg_.shards);
+    pulled_.resize(cfg_.shards);
+    take_.resize(cfg_.shards);
+  }
+
+  ShardedHeap(std::size_t node_capacity, std::size_t shards, Compare cmp = Compare())
+      : ShardedHeap(node_capacity, Config{shards, 0, 1024}, std::move(cmp)) {}
+
+  std::size_t node_capacity() const noexcept { return r_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.size();
+    return n;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  const ShardedStats& sharded_stats() const noexcept { return stats_; }
+  const KeyRangePartitioner<T, Compare>& partitioner() const noexcept { return part_; }
+  Shard& shard(std::size_t i) noexcept { return shards_[i]; }
+
+  /// Forces an immediate partition-map re-estimation from the rolling
+  /// sample (testing/tuning; the interval path calls this too).
+  void rebalance_now() {
+    if (sample_.empty() || num_shards() == 1) return;
+    part_.rebalance(std::span<const T>(sample_));
+    ++stats_.rebalances;
+    telemetry::count(telemetry::Counter::kShardRebalances);
+  }
+
+  /// Replaces the content: seeds the partition map from `items` and
+  /// bulk-loads each shard with its range.
+  void build(std::span<const T> items) {
+    observe(items);
+    if (!seeded_ && !items.empty()) {
+      part_.rebalance(items);
+      seeded_ = true;
+    }
+    for (auto& b : route_buf_) b.clear();
+    for (const T& v : items) route_buf_[part_.route(v)].push_back(v);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].build(route_buf_[s]);
+    }
+  }
+
+  /// One sharded insert-delete cycle: routes `fresh` across the shards,
+  /// pulls every shard's k-smallest prefix through one pipelined cycle
+  /// each, K-way-merges the global k smallest into `out` (sorted), and
+  /// puts losing prefix items back. Returns the number deleted.
+  std::size_t cycle(std::span<const T> fresh, std::size_t k, std::vector<T>& out) {
+    PH_ASSERT_MSG(k <= r_, "cycle(): k must not exceed the node capacity r");
+    ++stats_.cycles;
+
+    // Phase 1: route. The first nonempty batch seeds the partition map.
+    {
+      telemetry::SpanScope span(telemetry::Phase::kShardRoute);
+      if (!seeded_ && !fresh.empty()) {
+        part_.rebalance(fresh);
+        seeded_ = true;
+      }
+      for (auto& b : route_buf_) b.clear();
+      for (const T& v : fresh) route_buf_[part_.route(v)].push_back(v);
+    }
+    if (!fresh.empty()) {
+      std::size_t mx = 0;
+      for (const auto& b : route_buf_) mx = std::max(mx, b.size());
+      stats_.routed += fresh.size();
+      stats_.routed_max_sum += mx;
+      telemetry::count(telemetry::Counter::kShardRouted, fresh.size());
+      observe(fresh);
+    }
+
+    // Phase 2: pull per-shard prefixes. Every shard cycles every global
+    // cycle — even an empty one — so parked update processes keep
+    // advancing at the global cycle rate.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      pulled_[s].clear();
+      shards_[s].cycle(route_buf_[s], k, pulled_[s]);
+    }
+
+    // Phase 3: K-way tournament over the sorted prefixes; ties go to the
+    // lowest shard index (deterministic; invisible under multiset keys).
+    std::size_t taken = 0;
+    {
+      telemetry::SpanScope span(telemetry::Phase::kShardMerge);
+      std::fill(take_.begin(), take_.end(), std::size_t{0});
+      while (taken < k) {
+        std::size_t best = shards_.size();
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          if (take_[s] >= pulled_[s].size()) continue;
+          if (best == shards_.size() ||
+              cmp_(pulled_[s][take_[s]], pulled_[best][take_[best]])) {
+            best = s;
+          }
+        }
+        if (best == shards_.size()) break;  // all prefixes exhausted
+        out.push_back(pulled_[best][take_[best]++]);
+        ++taken;
+      }
+    }
+    std::size_t width = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (take_[s] > 0) ++width;
+    }
+    stats_.merge_width_sum += width;
+    telemetry::count(telemetry::Counter::kShardMergeWidth, width);
+
+    // Phase 4: put losing prefix suffixes back where they came from
+    // (insert-only cycles; k = 0 advances nothing out of the shard).
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (take_[s] >= pulled_[s].size()) continue;
+      const auto rest = std::span<const T>(pulled_[s]).subspan(take_[s]);
+      sink_.clear();
+      shards_[s].cycle(rest, 0, sink_);
+      stats_.putbacks += rest.size();
+      telemetry::count(telemetry::Counter::kShardPutbacks, rest.size());
+    }
+
+    // Phase 5: periodic partition-map re-estimation, always between cycles
+    // (never while shard pipelines are mid-half-step).
+    if (cfg_.rebalance_interval != 0 &&
+        stats_.cycles % cfg_.rebalance_interval == 0) {
+      rebalance_now();
+    }
+    return taken;
+  }
+
+  /// Verifies every shard's structural invariants (drains their pipelines).
+  bool check_invariants(std::string* why = nullptr) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::string inner;
+      if (!shards_[s].check_invariants(&inner)) {
+        if (why) *why = "shard " + std::to_string(s) + ": " + inner;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// All contents ascending (drains; testing/diagnostics).
+  std::vector<T> sorted_contents() {
+    std::vector<T> all;
+    for (Shard& s : shards_) {
+      const std::vector<T> part = s.sorted_contents();
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    std::sort(all.begin(), all.end(), cmp_);
+    return all;
+  }
+
+ private:
+  /// Rolling insert sample backing rebalance (overwrite-oldest ring; cheap,
+  /// deterministic, biased to recent batches — which is the point: the map
+  /// should track where keys are arriving *now*).
+  void observe(std::span<const T> items) {
+    if (cfg_.rebalance_interval == 0 && seeded_) return;  // static map
+    for (const T& v : items) {
+      if (sample_.size() < cfg_.sample_capacity) {
+        sample_.push_back(v);
+      } else {
+        sample_[sample_cursor_ % cfg_.sample_capacity] = v;
+      }
+      ++sample_cursor_;
+    }
+  }
+
+  std::size_t r_;
+  Config cfg_;
+  Compare cmp_;
+  KeyRangePartitioner<T, Compare> part_;
+  std::vector<Shard> shards_;
+  bool seeded_ = false;
+
+  ShardedStats stats_;
+  std::vector<T> sample_;
+  std::size_t sample_cursor_ = 0;
+
+  // Scratch (reused; allocation-free after warm-up).
+  std::vector<std::vector<T>> route_buf_, pulled_;
+  std::vector<std::size_t> take_;
+  std::vector<T> sink_;
+};
+
+}  // namespace ph

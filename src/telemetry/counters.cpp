@@ -13,6 +13,8 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kThinkStall: return "think_stall";
     case Phase::kSteal: return "steal";
     case Phase::kMaintService: return "maint_service";
+    case Phase::kShardRoute: return "shard_route";
+    case Phase::kShardMerge: return "shard_merge";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -28,6 +30,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kSteals: return "steals";
     case Counter::kThinkItems: return "think_items";
     case Counter::kHalfSteps: return "half_steps";
+    case Counter::kShardRouted: return "shard_routed";
+    case Counter::kShardPutbacks: return "shard_putbacks";
+    case Counter::kShardRebalances: return "shard_rebalances";
+    case Counter::kShardMergeWidth: return "shard_merge_width";
     case Counter::kCount: break;
   }
   return "unknown";

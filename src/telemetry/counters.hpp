@@ -39,6 +39,8 @@ enum class Phase : unsigned {
   kThinkStall,      ///< driver waiting on the think team after maintenance
   kSteal,           ///< substitute fetch stealing from in-flight carried sets
   kMaintService,    ///< one maintenance worker's share of a half-step
+  kShardRoute,      ///< sharded front end splitting a batch by key range
+  kShardMerge,      ///< K-way tournament over per-shard prefixes
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -54,6 +56,10 @@ enum class Counter : unsigned {
   kSteals,
   kThinkItems,
   kHalfSteps,
+  kShardRouted,     ///< items routed across shards by the partition map
+  kShardPutbacks,   ///< pulled-but-untaken prefix items returned to shards
+  kShardRebalances, ///< partition-map re-estimations applied
+  kShardMergeWidth, ///< shards contributing to a deletion batch, summed
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

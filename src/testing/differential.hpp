@@ -10,9 +10,25 @@
 // the trace the runner exhausts both sides through the same cycle()
 // interface and compares the remaining contents, which catches items lost or
 // duplicated by in-flight processes when a trace stops mid-pipeline.
+//
+// Structures with deliberately relaxed ordering (LocalHeaps: a local pop is a
+// partition minimum, not the global minimum) can't pass stream equality, but
+// they still owe *conservation*: every cycle must delete exactly
+// min(k, size) items, every deleted item must be one that was inserted and
+// not yet deleted, and the final drain must return everything. DiffOptions::
+// relaxed switches the runner to that multiset-conservation check, which
+// catches exactly the bug class such structures can have — lost, duplicated,
+// or fabricated items — without over-constraining their ordering.
+//
+// Feedback ops (op_trace.hpp) re-insert the structure's *own* previous
+// deletion stream with an additive bump before the cycle's fresh keys; the
+// oracle (or conservation multiset) receives the same materialized items, so
+// both sides stay in lockstep even though the trace text doesn't fix the
+// keys in advance.
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +41,8 @@ namespace ph::testing {
 struct DiffOptions {
   /// Run check_invariants() every N cycles (0 = only after the final drain).
   std::size_t invariant_stride = 0;
+  /// Conservation-only checking for relaxed-ordering structures (see above).
+  bool relaxed = false;
 };
 
 struct DiffFailure {
@@ -64,25 +82,77 @@ inline std::string mismatch_message(const std::vector<std::uint64_t>& got,
   return "streams match";  // unreachable when called on a mismatch
 }
 
+/// Conservation referee for relaxed structures: tracks the live multiset and
+/// validates one deletion batch against it (exact count, no fabrication).
+class ConservationOracle {
+ public:
+  void insert(std::span<const std::uint64_t> items) {
+    for (std::uint64_t v : items) live_.insert(v);
+  }
+  std::size_t size() const noexcept { return live_.size(); }
+
+  /// Checks `got` for a cycle with deletion budget `k`; erases the consumed
+  /// items. Returns empty string on success, else the failure description.
+  std::string consume(const std::vector<std::uint64_t>& got, std::size_t k) {
+    const std::size_t want_n = std::min(k, live_.size());
+    if (got.size() != want_n) {
+      return "deleted " + std::to_string(got.size()) + " items, expected min(k, size) = " +
+             std::to_string(want_n);
+    }
+    for (std::uint64_t v : got) {
+      auto it = live_.find(v);
+      if (it == live_.end()) {
+        return "deleted item " + std::to_string(v) +
+               " which is not live (fabricated or duplicated)";
+      }
+      live_.erase(it);
+    }
+    return {};
+  }
+
+ private:
+  std::multiset<std::uint64_t> live_;
+};
+
 }  // namespace diff_detail
 
 template <typename Q>
 DiffFailure run_differential(Q& q, const OpTrace& trace, const DiffOptions& opt = {}) {
   SortedOracle oracle;
-  std::vector<std::uint64_t> got, want;
+  diff_detail::ConservationOracle conserve;
+  std::vector<std::uint64_t> got, want, prev_got, fresh_buf;
   std::string why;
 
   for (std::size_t i = 0; i < trace.ops.size(); ++i) {
     const Op& op = trace.ops[i];
     const std::size_t k = std::min(op.k, trace.r);
-    got.clear();
-    want.clear();
-    q.cycle(std::span<const std::uint64_t>(op.fresh), k, got);
-    oracle.cycle(op.fresh, k, want);
-    if (got != want) {
-      return {true, i, "cycle " + std::to_string(i) + ": " +
-                           diff_detail::mismatch_message(got, want)};
+
+    // Materialize feedback: previous cycle's actual deletions, bumped. Both
+    // sides see the identical item stream, so wrap-around on the add is fine.
+    std::span<const std::uint64_t> fresh(op.fresh);
+    if (op.feedback) {
+      fresh_buf.assign(op.fresh.begin(), op.fresh.end());
+      for (std::uint64_t v : prev_got) fresh_buf.push_back(v + op.feedback_add);
+      fresh = fresh_buf;
     }
+
+    got.clear();
+    q.cycle(fresh, k, got);
+    if (opt.relaxed) {
+      conserve.insert(fresh);
+      const std::string msg = conserve.consume(got, k);
+      if (!msg.empty()) {
+        return {true, i, "cycle " + std::to_string(i) + ": " + msg};
+      }
+    } else {
+      want.clear();
+      oracle.cycle(fresh, k, want);
+      if (got != want) {
+        return {true, i, "cycle " + std::to_string(i) + ": " +
+                             diff_detail::mismatch_message(got, want)};
+      }
+    }
+    prev_got = got;
     if (opt.invariant_stride != 0 && (i + 1) % opt.invariant_stride == 0) {
       if (!diff_detail::maybe_check_invariants(q, &why)) {
         return {true, i, "cycle " + std::to_string(i) + ": invariant violated: " + why};
@@ -93,16 +163,25 @@ DiffFailure run_differential(Q& q, const OpTrace& trace, const DiffOptions& opt 
   // End-of-trace: exhaust both sides through the same interface and compare.
   // Bounded so a structure that fabricates items cannot loop forever.
   const std::size_t end = trace.ops.size();
-  std::size_t guard = oracle.size() / std::max<std::size_t>(1, trace.r) + 64;
+  const std::size_t left = opt.relaxed ? conserve.size() : oracle.size();
+  std::size_t guard = left / std::max<std::size_t>(1, trace.r) + 64;
   for (;;) {
     got.clear();
-    want.clear();
     const std::size_t nq = q.cycle({}, trace.r, got);
-    const std::size_t no = oracle.cycle({}, trace.r, want);
-    if (got != want) {
-      return {true, end, "final drain: " + diff_detail::mismatch_message(got, want)};
+    if (opt.relaxed) {
+      const std::string msg = conserve.consume(got, trace.r);
+      if (!msg.empty()) {
+        return {true, end, "final drain: " + msg};
+      }
+      if (nq == 0 && conserve.size() == 0) break;
+    } else {
+      want.clear();
+      const std::size_t no = oracle.cycle({}, trace.r, want);
+      if (got != want) {
+        return {true, end, "final drain: " + diff_detail::mismatch_message(got, want)};
+      }
+      if (nq == 0 && no == 0) break;
     }
-    if (nq == 0 && no == 0) break;
     if (guard-- == 0) {
       return {true, end, "final drain did not converge (structure keeps yielding items)"};
     }

@@ -19,9 +19,19 @@
 namespace ph::testing {
 
 /// One batch-PQ cycle: insert `fresh`, then delete up to `k`.
+///
+/// A *feedback* op additionally models the engine's think phase: before the
+/// cycle runs, the previous cycle's deletion stream is re-inserted with
+/// `feedback_add` added to each key (the worker "thought about" its batch and
+/// re-scheduled it at a later priority). The runner materializes the feedback
+/// items from the structure's actual previous output, so the keys driven
+/// through the structure depend on its own behavior — an engine-level trace
+/// rather than a fixed one (serialized as "fop", format version 2).
 struct Op {
   std::size_t k = 0;
   std::vector<std::uint64_t> fresh;
+  bool feedback = false;
+  std::uint64_t feedback_add = 0;
 
   bool operator==(const Op&) const = default;
 };
@@ -40,16 +50,29 @@ struct OpTrace {
 
   bool operator==(const OpTrace&) const = default;
 
+  bool has_feedback() const noexcept {
+    for (const Op& op : ops) {
+      if (op.feedback) return true;
+    }
+    return false;
+  }
+
   /// Self-contained reproducer text (parsed back by from_text / ph_repro).
+  /// Traces without feedback ops keep emitting format 1 so old reproducers
+  /// and old readers stay byte-compatible; feedback ops need format 2.
   std::string to_text() const {
     std::ostringstream os;
-    os << "ph-repro 1\n";
+    os << "ph-repro " << (has_feedback() ? 2 : 1) << "\n";
     os << "structure " << structure << "\n";
     os << "r " << r << "\n";
     os << "seed " << seed << "\n";
     os << "ops " << ops.size() << "\n";
     for (const Op& op : ops) {
-      os << "op " << op.k << " " << op.fresh.size();
+      if (op.feedback) {
+        os << "fop " << op.k << " " << op.feedback_add << " " << op.fresh.size();
+      } else {
+        os << "op " << op.k << " " << op.fresh.size();
+      }
       for (std::uint64_t key : op.fresh) os << " " << key;
       os << "\n";
     }
@@ -67,8 +90,9 @@ struct OpTrace {
     std::istringstream is(text);
     std::string word;
     int version = 0;
-    if (!(is >> word >> version) || word != "ph-repro" || version != 1) {
-      return fail("bad header: expected 'ph-repro 1'");
+    if (!(is >> word >> version) || word != "ph-repro" ||
+        (version != 1 && version != 2)) {
+      return fail("bad header: expected 'ph-repro 1' or 'ph-repro 2'");
     }
     OpTrace t;
     std::size_t nops = 0;
@@ -88,8 +112,19 @@ struct OpTrace {
     for (std::size_t i = 0; i < nops; ++i) {
       Op op;
       std::size_t nkeys = 0;
-      if (!(is >> word >> op.k >> nkeys) || word != "op") {
-        return fail("op " + std::to_string(i) + ": expected 'op <k> <n> keys...'");
+      if (!(is >> word) || (word != "op" && (word != "fop" || version < 2))) {
+        return fail("op " + std::to_string(i) +
+                    ": expected 'op <k> <n> keys...' or (v2) 'fop <k> <add> <n> keys...'");
+      }
+      op.feedback = (word == "fop");
+      if (!(is >> op.k)) {
+        return fail("op " + std::to_string(i) + ": missing k");
+      }
+      if (op.feedback && !(is >> op.feedback_add)) {
+        return fail("op " + std::to_string(i) + ": fop missing feedback_add");
+      }
+      if (!(is >> nkeys)) {
+        return fail("op " + std::to_string(i) + ": missing key count");
       }
       if (op.k > t.r) {
         return fail("op " + std::to_string(i) + ": k exceeds r");
@@ -117,8 +152,9 @@ struct GenConfig {
 /// Generates an adversarial cycle schedule: the generator walks through
 /// seeded "modes" — steady-state churn, grow bursts, forced shrink,
 /// exhaustion (cycling on an empty heap), duplicate-heavy tiny key alphabets,
-/// and strictly descending/ascending key runs (every batch a new global
-/// min / max). Mode runs last a few cycles each, so one trace crosses many
+/// strictly descending/ascending key runs (every batch a new global
+/// min / max), and think-phase feedback (re-insert the previous deletion
+/// batch at bumped priorities). Mode runs last a few cycles each, so one trace crosses many
 /// regimes while several generations of update processes are in flight; the
 /// trace simply ending mid-pipeline is itself an adversary (the differential
 /// runner drains and compares final contents).
@@ -137,6 +173,7 @@ inline OpTrace generate_trace(const GenConfig& cfg) {
     kDupes,
     kDescending,
     kAscending,
+    kFeedback,
     kNumModes
   };
   Mode mode = kSteady;
@@ -184,9 +221,19 @@ inline OpTrace generate_trace(const GenConfig& cfg) {
         op.k = rng.next_below(r + 1);
         break;
       case kAscending:
-      default:
         for (std::size_t i = 0; i < r; ++i) op.fresh.push_back(asc_key++);
         op.k = rng.next_below(r + 1);
+        break;
+      case kFeedback:
+      default:
+        // Engine think-phase loop: the previous cycle's deletion batch comes
+        // back with bumped priorities (plus some fresh arrivals), so the keys
+        // the structure sees depend on what it emitted — closing the
+        // delete→think→insert cycle that plain fixed traces cannot express.
+        op.feedback = true;
+        op.feedback_add = 1 + rng.next_below(bound / 4 + 1);
+        uniform_keys(rng.next_below(r + 1), bound);
+        op.k = 1 + rng.next_below(r);
         break;
     }
     t.ops.push_back(std::move(op));

@@ -8,7 +8,8 @@
 //   2. delete runs of whole ops (ddmin-style halving chunks),
 //   3. delete runs of fresh keys inside each op,
 //   4. zero/halve deletion budgets,
-//   5. canonicalize key values toward zero (0, then repeated halving).
+//   5. demote feedback ops to plain ops (then shrink their add constants),
+//   6. canonicalize key values toward zero (0, then repeated halving).
 // Every accepted candidate re-establishes failure by re-running the full
 // predicate, so the result is always a genuine reproducer. All passes are
 // deterministic — same input trace and predicate, same minimized trace.
@@ -110,7 +111,28 @@ inline OpTrace shrink_trace(const OpTrace& original, const TracePredicate& fails
       }
     }
 
-    // Pass 5: canonicalize key values toward zero.
+    // Pass 5: demote feedback ops to fixed ops (keeps reproducers in the v1
+    // format when the feedback loop isn't essential to the failure), then
+    // shrink surviving feedback adds toward zero.
+    for (std::size_t oi = 0; oi < cur.ops.size(); ++oi) {
+      if (!cur.ops[oi].feedback) continue;
+      OpTrace cand = cur;
+      cand.ops[oi].feedback = false;
+      cand.ops[oi].feedback_add = 0;
+      if (attempt(std::move(cand))) {
+        progress = true;
+        continue;
+      }
+      while (cur.ops[oi].feedback_add > 0 && st.attempts < max_attempts) {
+        cand = cur;
+        cand.ops[oi].feedback_add /= 2;
+        if (!attempt(std::move(cand))) break;
+        progress = true;
+      }
+      if (st.attempts >= max_attempts) break;
+    }
+
+    // Pass 6: canonicalize key values toward zero.
     for (std::size_t oi = 0; oi < cur.ops.size(); ++oi) {
       for (std::size_t j = 0; j < cur.ops[oi].fresh.size(); ++j) {
         if (cur.ops[oi].fresh[j] == 0) continue;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <string>
@@ -114,6 +115,10 @@ inline StressReport run_stress(const StressConfig& cfg, std::ostream* log = null
             sf.failure = std::move(f);
           }
           if (!cfg.repro_dir.empty()) {
+            // CI passes a directory that doesn't exist yet; a reproducer
+            // that silently fails to write defeats the whole harness.
+            std::error_code ec;
+            std::filesystem::create_directories(cfg.repro_dir, ec);
             const std::string path =
                 cfg.repro_dir + "/" + stress_detail::repro_filename(sf.trace);
             std::ofstream os(path);

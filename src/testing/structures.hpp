@@ -25,12 +25,14 @@
 #include "baselines/calendar_queue.hpp"
 #include "baselines/dary_heap.hpp"
 #include "baselines/leftist_heap.hpp"
+#include "baselines/local_heaps.hpp"
 #include "baselines/locked_pq.hpp"
 #include "baselines/pairing_heap.hpp"
 #include "baselines/pq_concepts.hpp"
 #include "baselines/skew_heap.hpp"
 #include "core/parallel_heap.hpp"
 #include "core/pipelined_heap.hpp"
+#include "core/sharded_heap.hpp"
 #include "core/stable_heap.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
@@ -110,13 +112,132 @@ class MtPipelinedHeapAdapter {
   std::vector<Heap::ServiceCtx> ctx_;
 };
 
+/// LocalHeaps driven as a batch PQ: round-robin pushes across partitions,
+/// pops rotate the home partition (steal scan makes try_pop fail only when
+/// globally empty, so the batch always returns min(k, size) items). A local
+/// pop is a partition minimum, not the global one, so this structure runs
+/// under DiffOptions::relaxed (conservation checking).
+class LocalHeapsBatchAdapter {
+ public:
+  explicit LocalHeapsBatchAdapter(std::size_t /*r*/, std::size_t partitions = 4)
+      : q_(partitions), parts_(partitions) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    for (std::uint64_t v : fresh) q_.push(v, push_cursor_++ % parts_);
+    std::size_t n = 0;
+    for (; n < k; ++n) {
+      std::uint64_t v = 0;
+      if (!q_.try_pop(pop_cursor_++ % parts_, v)) break;
+      out.push_back(v);
+    }
+    return n;
+  }
+
+ private:
+  LocalHeaps<std::uint64_t> q_;
+  std::size_t parts_;
+  std::size_t push_cursor_ = 0;
+  std::size_t pop_cursor_ = 0;
+};
+
+/// LocalHeaps under real thread concurrency: a ThreadTeam pushes the batch
+/// (each worker into its own home partition), a barrier, then the team pops
+/// its share of k concurrently. The barrier between phases is what makes the
+/// *count* deterministic — during the pop phase nothing is pushed, so a
+/// partition observed empty stays empty, a fully failed steal scan implies
+/// the structure is globally empty, and the batch total is exactly
+/// min(k, size) on every schedule even though which thread pops which item
+/// (and hence the output order) is schedule-dependent. Conservation checking
+/// is order-blind, so this is differentially testable; schedule fuzzing
+/// perturbs the team's barrier crossings underneath it.
+class MtLocalHeapsAdapter {
+ public:
+  explicit MtLocalHeapsAdapter(std::size_t /*r*/, unsigned threads = 2)
+      : q_(threads), team_(threads, /*pin=*/false, "stress-local"),
+        per_thread_(threads) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    const unsigned mt = team_.size();
+    team_.run([&](unsigned tid) {
+      for (std::size_t i = tid; i < fresh.size(); i += mt) q_.push(fresh[i], tid);
+    });
+    team_.run([&](unsigned tid) {
+      auto& mine = per_thread_[tid];
+      mine.clear();
+      // Thread tid attempts pops i = tid, tid+mt, ... < k (a fair split of k).
+      for (std::size_t i = tid; i < k; i += mt) {
+        std::uint64_t v = 0;
+        if (!q_.try_pop(tid, v)) break;
+        mine.push_back(v);
+      }
+    });
+    std::size_t n = 0;
+    for (const auto& mine : per_thread_) {
+      out.insert(out.end(), mine.begin(), mine.end());
+      n += mine.size();
+    }
+    return n;
+  }
+
+ private:
+  LocalHeaps<std::uint64_t> q_;
+  ThreadTeam team_;
+  std::vector<std::vector<std::uint64_t>> per_thread_;
+};
+
+/// The engine's maintenance rotation (engine.hpp advance_both): root work
+/// first, then the even and odd half-steps dispatched across a maintenance
+/// ThreadTeam. Flattened over repeated cycles this is the same half-step
+/// alternation as PipelinedParallelHeap::step() — the leading advance(1) of
+/// step() on an empty pipeline is a no-op — so the deletion stream must stay
+/// bit-identical to "pipelined_heap"; this covers the engine-level schedule
+/// (and its trace points) differentially, which ROADMAP listed as untested.
+class EnginePipelineAdapter {
+ public:
+  explicit EnginePipelineAdapter(std::size_t r, unsigned threads = 2)
+      : q_(r), team_(threads, /*pin=*/false, "stress-engine"), ctx_(threads) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    const std::size_t n = q_.root_work_public(fresh, k, out);
+    advance_mt(0);
+    advance_mt(1);
+    return n;
+  }
+
+  bool check_invariants(std::string* why) { return q_.check_invariants(why); }
+
+ private:
+  using Heap = PipelinedParallelHeap<std::uint64_t>;
+
+  void advance_mt(std::size_t parity) {
+    q_.advance_with(
+        parity, [this](std::size_t ngroups,
+                       const std::function<void(std::size_t, Heap::ServiceCtx&)>& fn) {
+          const unsigned mt = team_.size();
+          team_.run([&](unsigned tid) {
+            for (std::size_t g = tid; g < ngroups; g += mt) fn(g, ctx_[tid]);
+          });
+          for (auto& c : ctx_) q_.merge_ctx(c);
+        });
+  }
+
+  Heap q_;
+  ThreadTeam team_;
+  std::vector<Heap::ServiceCtx> ctx_;
+};
+
 /// The structures every stress run covers by default.
 inline const std::vector<std::string>& default_structures() {
   static const std::vector<std::string> names = {
       "parallel_heap",      "parallel_heap_d4",   "pipelined_heap",
       "pipelined_heap_mt",  "stable_heap",        "locked_binary_heap",
       "batch_binary_heap",  "batch_dary4_heap",   "batch_skew_heap",
-      "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue"};
+      "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue",
+      "sharded_heap",       "engine_pipeline",    "local_heaps",
+      "local_heaps_mt"};
   return names;
 }
 
@@ -181,6 +302,28 @@ inline DiffFailure run_trace(const OpTrace& t) {
   }
   if (s == "batch_calendar_queue") {
     BatchAdapter<CalendarQueue<U64, structures_detail::U64Key>, U64> q;
+    return run_differential(q, t, opt);
+  }
+  if (s == "sharded_heap") {
+    opt.invariant_stride = 64;  // drains every shard's pipeline
+    ShardedHeap<U64> q(t.r, ShardedHeap<U64>::Config{/*shards=*/3,
+                                                     /*rebalance_interval=*/16,
+                                                     /*sample_capacity=*/1024});
+    return run_differential(q, t, opt);
+  }
+  if (s == "engine_pipeline") {
+    opt.invariant_stride = 64;
+    EnginePipelineAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "local_heaps") {
+    opt.relaxed = true;  // partition-local pops: conservation, not ordering
+    LocalHeapsBatchAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "local_heaps_mt") {
+    opt.relaxed = true;
+    MtLocalHeapsAdapter q(t.r);
     return run_differential(q, t, opt);
   }
   return {true, 0, "unknown structure '" + s + "' (see structures.hpp)"};

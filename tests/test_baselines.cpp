@@ -262,6 +262,39 @@ TEST(CalendarQueue, FarPastInsertionStillExact) {
   EXPECT_EQ(q.pop().id, 999);
 }
 
+TEST(CalendarQueue, StationarySizeDriftingGapsReestimatesWidth) {
+  // Regression: width used to be re-estimated only inside resize(), and
+  // resizes only trigger on size changes — so a hold-model queue (size
+  // constant forever) whose inter-event gaps drift kept the width estimated
+  // at fill time forever. With tiny fill-time gaps and a 10^4× wider gap
+  // distribution later, every event lands within one stale-width day of the
+  // clock and dequeue degrades to scanning ~all buckets. Brown's periodic
+  // re-estimation (every ~2·size pops, rebuilding only on >2× drift) must
+  // notice and widen the days; exactness must hold throughout.
+  CalendarQueue<Ev, EvKey> q;
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 512; ++i) q.push(Ev{i * 0.01, i});  // gaps ≈ 0.01
+
+  double clock = 0;
+  auto hold = [&](int steps, double gap_scale) {
+    for (int s = 0; s < steps; ++s) {
+      Ev e = q.pop();
+      ASSERT_GE(e.t, clock) << "hold step " << s << " scale " << gap_scale;
+      clock = e.t;
+      e.t = clock + rng.next_double() * gap_scale;
+      q.push(e);
+    }
+  };
+
+  hold(4000, 0.01);  // stationary gaps: width stays right, no forced churn
+  const double width_before = q.current_width();
+  hold(20000, 100.0);  // gap distribution drifts 10^4× wider, size constant
+  EXPECT_GE(q.width_reestimates(), 1u);
+  EXPECT_GT(q.current_width(), 2.0 * width_before);
+  EXPECT_EQ(q.size(), 512u);
+  EXPECT_TRUE(q.check_invariants());
+}
+
 // -------------------------------------------------------------- concurrent
 
 TEST(LockedPQ, SerialSemantics) {

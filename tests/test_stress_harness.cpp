@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,30 @@ TEST(StressHarness, InjectedFaultIsCaughtShrunkAndReplayable) {
   OpTrace healthy = sf.trace;
   healthy.structure = "pipelined_heap";
   EXPECT_FALSE(run_trace(healthy).failed);
+}
+
+TEST(StressHarness, ReproDirIsCreatedIfMissing) {
+  // CI hands the soak a reproducer directory that does not exist yet; the
+  // harness must create it rather than silently dropping the reproducer
+  // (which would make the upload-on-failure artifact empty exactly when a
+  // failure happened).
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ph_stress_test_repro" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  StressConfig cfg;
+  cfg.structures = {"pipelined_heap_faulty"};
+  cfg.cycles = 400;
+  cfg.rounds = 1;
+  cfg.seed = 1;
+  cfg.max_failures = 1;
+  cfg.shrink = false;  // keep it fast; writing is what's under test
+  cfg.repro_dir = dir.string();
+  const StressReport rep = run_stress(cfg);
+  ASSERT_FALSE(rep.ok());
+  const StressFailure& sf = rep.failures.front();
+  EXPECT_FALSE(sf.repro_path.empty()) << "reproducer was not written";
+  EXPECT_TRUE(std::filesystem::exists(sf.repro_path));
+  std::filesystem::remove_all(dir.parent_path());
 }
 
 TEST(StressHarness, ShrinkerMinimizesToTheFailingKey) {

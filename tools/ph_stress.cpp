@@ -38,6 +38,7 @@ void usage(const char* argv0) {
                "  --shrink-attempts N minimizer budget per failure (default 4000)\n"
                "  --no-shrink         keep failing traces unminimized\n"
                "  --sched-fuzz SEED   arm the schedule perturbation hooks (if compiled in)\n"
+               "  --sched-fuzz-permille N  per-crossing yield probability, 0..1000 (default 200)\n"
                "  --must-fail         invert the exit code: 0 iff failures were found\n",
                argv0);
 }
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
   bool must_fail = false;
   bool sched_fuzz = false;
   std::uint64_t sched_fuzz_seed = 0;
+  std::uint64_t sched_fuzz_permille = 200;
 
   auto value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -114,6 +116,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--sched-fuzz") == 0) {
       sched_fuzz = true;
       sched_fuzz_seed = parse_u64(value(i, a), "sched fuzz seed");
+    } else if (std::strcmp(a, "--sched-fuzz-permille") == 0) {
+      sched_fuzz_permille = parse_u64(value(i, a), "sched fuzz permille");
+      if (sched_fuzz_permille > 1000) {
+        std::fprintf(stderr, "ph_stress: --sched-fuzz-permille must be 0..1000\n");
+        return 2;
+      }
     } else if (std::strcmp(a, "--must-fail") == 0) {
       must_fail = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -133,7 +141,8 @@ int main(int argc, char** argv) {
                    "compiled in (build with -DPH_SCHED_FUZZ=ON)\n");
       return 2;
     }
-    ph::testing::sched_fuzz_enable(sched_fuzz_seed);
+    ph::testing::sched_fuzz_enable(sched_fuzz_seed,
+                                   static_cast<unsigned>(sched_fuzz_permille));
   }
 
   const ph::testing::StressReport rep = ph::testing::run_stress(cfg, &std::cerr);
