@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate: build and test the release preset, run the bounded
 # differential stress soak (including the proof that the harness detects the
-# re-injected pipelined delete-update bug), then re-run the
-# concurrency-sensitive tests under thread sanitizer.
+# re-injected pipelined delete-update bug) and the fail-point fault matrix,
+# then re-run the concurrency-sensitive tests and the fault matrix under
+# thread sanitizer.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -32,6 +33,9 @@ for repro in "$REPRO_DIR"/pipelined_heap_faulty_*.repro; do
   build-release/tools/ph_repro "$repro" --expect-fail
 done
 
+echo "== release: fault matrix (every fail-point site fires and recovers) =="
+build-release/tools/ph_stress --failpoint
+
 echo "== tsan: configure + build =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
@@ -39,5 +43,8 @@ cmake --build --preset tsan -j "$JOBS"
 echo "== tsan: pipeline + telemetry + substrate concurrency tests =="
 ctest --preset tsan "$@" -R \
   'PipelineParallel|ConcurrentCounterMergeIsExact|CollectWhileWritersRunIsMonotone|SchedStress'
+
+echo "== tsan: fault matrix =="
+build-tsan/tools/ph_stress --failpoint
 
 echo "check.sh: all green"

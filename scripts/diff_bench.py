@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two bench trajectory files (BENCH_pr<N>.json).
+
+Compares the per-binary bench scalars and telemetry counters between a
+baseline trajectory file and a new one, printing a delta table so a PR's
+bench run can be eyeballed against the previous PR's committed file.
+
+    scripts/diff_bench.py BENCH_pr3.json BENCH_pr4.json
+    scripts/diff_bench.py --baseline-latest BENCH_pr4.json
+    scripts/diff_bench.py --fail-over 25 old.json new.json
+
+By default the diff is report-only: bench timings on shared CI runners are
+noisy, so regressions are surfaced, not enforced. --fail-over PCT turns any
+scalar whose |delta| exceeds PCT percent into a nonzero exit (counters whose
+baseline is 0 are reported as "new" and never fail). Telemetry *counters*
+(deterministic work counts: items, procs, cycles) get the same threshold —
+those SHOULD be reproducible, so an unexplained counter jump is signal even
+when timings wobble.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "benches" not in doc:
+        sys.exit(f"diff_bench: {path}: not a trajectory file (no 'benches' key)")
+    return doc
+
+
+def latest_trajectory(root, exclude):
+    """Highest-numbered BENCH_pr<N>.json under root, excluding `exclude`."""
+    best, best_n = None, -1
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        if os.path.abspath(path) == os.path.abspath(exclude):
+            continue
+        m = re.fullmatch(r"BENCH_pr(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) > best_n:
+            best, best_n = path, int(m.group(1))
+    return best
+
+
+def scalars(bench_doc):
+    """Flatten one binary's document into {metric_name: number}."""
+    out = {}
+    for k, v in bench_doc.get("bench", {}).items():
+        if isinstance(v, (int, float)):
+            out[f"bench.{k}"] = float(v)
+    for k, v in bench_doc.get("telemetry", {}).get("counters", {}).items():
+        if isinstance(v, (int, float)):
+            out[f"counter.{k}"] = float(v)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_pr<N>.json")
+    ap.add_argument("new", help="new BENCH_pr<N>.json")
+    ap.add_argument("--baseline-latest", action="store_true",
+                    help="use the highest-numbered committed BENCH_pr*.json "
+                         "(other than NEW) as the baseline")
+    ap.add_argument("--fail-over", type=float, metavar="PCT", default=None,
+                    help="exit 1 if any scalar moved more than PCT percent")
+    ap.add_argument("--min-delta", type=float, metavar="PCT", default=1.0,
+                    help="hide rows that moved less than PCT percent (default 1)")
+    args = ap.parse_args()
+
+    if args.baseline_latest:
+        root = os.path.dirname(os.path.abspath(args.new)) or "."
+        args.baseline = latest_trajectory(root, args.new)
+        if args.baseline is None:
+            print("diff_bench: no prior BENCH_pr*.json found; nothing to diff")
+            return 0
+    elif args.baseline is None:
+        ap.error("baseline file required (or pass --baseline-latest)")
+
+    old_doc, new_doc = load(args.baseline), load(args.new)
+    print(f"diff_bench: pr{old_doc.get('pr', '?')} -> pr{new_doc.get('pr', '?')} "
+          f"({args.baseline} -> {args.new})")
+
+    old_b, new_b = old_doc["benches"], new_doc["benches"]
+    for name in sorted(set(old_b) - set(new_b)):
+        print(f"  {name}: REMOVED")
+    for name in sorted(set(new_b) - set(old_b)):
+        print(f"  {name}: NEW")
+
+    worst = 0.0
+    rows = hidden = 0
+    for name in sorted(set(old_b) & set(new_b)):
+        so, sn = scalars(old_b[name]), scalars(new_b[name])
+        for metric in sorted(set(so) & set(sn)):
+            o, n = so[metric], sn[metric]
+            if o == n:
+                continue
+            if o == 0:
+                print(f"  {name}/{metric}: 0 -> {n:g} (new)")
+                continue
+            pct = 100.0 * (n - o) / abs(o)
+            worst = max(worst, abs(pct))
+            if abs(pct) < args.min_delta:
+                hidden += 1
+                continue
+            rows += 1
+            print(f"  {name}/{metric}: {o:g} -> {n:g}  ({pct:+.1f}%)")
+        for metric in sorted(set(sn) - set(so)):
+            print(f"  {name}/{metric}: (new metric) {sn[metric]:g}")
+
+    print(f"diff_bench: {rows} deltas shown, {hidden} below {args.min_delta}% "
+          f"hidden, worst |delta| {worst:.1f}%")
+    if args.fail_over is not None and worst > args.fail_over:
+        print(f"diff_bench: FAIL — worst delta {worst:.1f}% exceeds "
+              f"--fail-over {args.fail_over:g}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "robustness/failpoint.hpp"
+#include "robustness/watchdog.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_pool.hpp"
@@ -39,6 +41,12 @@ struct EngineConfig {
   unsigned maintenance_threads = 0;
   std::size_t batch = 0;  ///< k items deleted per cycle; 0 → node_capacity
   bool pin_threads = false;
+  /// Phase-watchdog stall timeout (0 = no watchdog). When set, the driver
+  /// and every think worker own a heartbeat channel beaten at their phase
+  /// crossings, and a background monitor escalates on stalls (telemetry
+  /// counter → stderr dump → optional abort).
+  std::uint64_t watchdog_stall_ns = 0;
+  bool watchdog_abort = false;  ///< escalate a persistent stall to abort()
 };
 
 struct EngineReport {
@@ -48,6 +56,8 @@ struct EngineReport {
   double maint_seconds = 0;           ///< driver time in pipeline half-steps
   double think_stall_seconds = 0;     ///< driver time waiting on the think team
   double root_seconds = 0;            ///< driver time in root work
+  std::uint64_t think_faults = 0;     ///< think lanes that threw and were requeued
+  std::uint64_t watchdog_stalls = 0;  ///< stalled-channel observations
 };
 
 template <typename T, typename Compare = std::less<T>>
@@ -104,6 +114,25 @@ class ParallelHeapEngine {
     PhaseTimer maint, stall, root;
     if constexpr (telemetry::kEnabled) telemetry::name_thread("driver");
 
+    // Optional liveness monitoring: one channel per think lane plus the
+    // driver, beaten at phase crossings, polled by a background monitor.
+    std::unique_ptr<robustness::PhaseWatchdog> wd;
+    std::size_t driver_ch = 0;
+    if (cfg_.watchdog_stall_ns > 0) {
+      robustness::PhaseWatchdog::Config wcfg;
+      wcfg.stall_timeout_ns = cfg_.watchdog_stall_ns;
+      wcfg.poll_interval_ns = std::max<std::uint64_t>(cfg_.watchdog_stall_ns / 2,
+                                                      1'000'000);
+      wcfg.abort_on_stall = cfg_.watchdog_abort;
+      wd = std::make_unique<robustness::PhaseWatchdog>(wcfg);
+      driver_ch = wd->add_channel("driver");
+      think_ch_.clear();
+      for (std::size_t t = 0; t < in_.size(); ++t) {
+        think_ch_.push_back(wd->add_channel("think-" + std::to_string(t)));
+      }
+      wd->start();
+    }
+
     batch_out_.clear();
     root.start();
     heap_.root_work_public({}, cfg_.batch, batch_out_);
@@ -112,22 +141,44 @@ class ParallelHeapEngine {
     while (!batch_out_.empty()) {
       ++rep.cycles;
       rep.items_processed += batch_out_.size();
+      if (wd) wd->beat(driver_ch);
 
       const unsigned lanes = static_cast<unsigned>(in_.size());
       for (auto& lane : in_) lane->clear();
       for (auto& lane : out_) lane->clear();
+      lane_failed_.assign(lanes, std::uint8_t{0});
       // Round-robin deal, as the paper distributes deleted messages.
       for (std::size_t i = 0; i < batch_out_.size(); ++i) {
         in_[i % lanes]->push_back(batch_out_[i]);
       }
 
-      if (think_team_) {
-        think_fn_ = [&](unsigned tid) {
-          telemetry::SpanScope span(telemetry::Phase::kThink);
-          telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
+      // A think lane that throws — injected kThinkThrow or a real user
+      // exception — must not wedge the cycle or lose its share of the
+      // batch: the lane's partial output is discarded and its INPUT items
+      // are requeued as new items, to be re-deleted and re-thought in a
+      // later cycle. At-least-once semantics for the failed lane (its
+      // produced partials never escape); conservation of the heap multiset
+      // is exact.
+      auto think_lane = [&](unsigned tid) {
+        telemetry::SpanScope span(telemetry::Phase::kThink);
+        telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
+        if (wd) wd->beat(think_ch_[tid]);
+        try {
+          robustness::fire_fault(robustness::FailSite::kThinkThrow);
           think(tid, std::span<const T>(*in_[tid]), std::span<const T>(batch_out_),
                 *out_[tid]);
-        };
+        } catch (const robustness::InjectedFailure&) {
+          out_[tid]->clear();
+          lane_failed_[tid] = 2;  // injected: counts as a verified recovery
+        } catch (...) {
+          out_[tid]->clear();
+          lane_failed_[tid] = 1;
+        }
+        if (wd) wd->beat(think_ch_[tid]);
+      };
+
+      if (think_team_) {
+        think_fn_ = think_lane;
         think_team_->begin(think_fn_);
         maint.start();
         advance_both();
@@ -139,20 +190,24 @@ class ParallelHeapEngine {
         }
         stall.stop();
       } else {
-        {
-          telemetry::SpanScope span(telemetry::Phase::kThink);
-          telemetry::count(telemetry::Counter::kThinkItems, in_[0]->size());
-          think(0, std::span<const T>(*in_[0]), std::span<const T>(batch_out_),
-                *out_[0]);
-        }
+        think_lane(0);
         maint.start();
         advance_both();
         maint.stop();
       }
 
       new_items_.clear();
-      for (auto& lane : out_) {
-        new_items_.insert(new_items_.end(), lane->begin(), lane->end());
+      for (unsigned tid = 0; tid < lanes; ++tid) {
+        if (lane_failed_[tid] != 0) {
+          ++rep.think_faults;
+          telemetry::count(telemetry::Counter::kThinkFaults);
+          new_items_.insert(new_items_.end(), in_[tid]->begin(), in_[tid]->end());
+          if (lane_failed_[tid] == 2) {
+            robustness::note_recovery(robustness::FailSite::kThinkThrow);
+          }
+          continue;
+        }
+        new_items_.insert(new_items_.end(), out_[tid]->begin(), out_[tid]->end());
       }
 
       const bool stop = (max_items != 0 && rep.items_processed >= max_items) ||
@@ -168,6 +223,10 @@ class ParallelHeapEngine {
     rep.maint_seconds = maint.total_seconds();
     rep.think_stall_seconds = stall.total_seconds();
     rep.root_seconds = root.total_seconds();
+    if (wd) {
+      wd->stop();
+      rep.watchdog_stalls = wd->stalls();
+    }
     return rep;
   }
 
@@ -202,6 +261,8 @@ class ParallelHeapEngine {
   std::vector<Padded<typename Heap::ServiceCtx>> maint_ctx_;
   std::vector<Padded<std::vector<T>>> in_, out_;
   std::vector<T> batch_out_, new_items_;
+  std::vector<std::uint8_t> lane_failed_;  ///< per-lane; read after team join
+  std::vector<std::size_t> think_ch_;      ///< watchdog channel ids per lane
   std::function<void(unsigned)> think_fn_;
   std::atomic<bool> stop_requested_{false};
 };

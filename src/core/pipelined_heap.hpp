@@ -52,6 +52,7 @@
 #include "core/node_fix.hpp"
 #include "core/parallel_heap.hpp"  // HeapStats
 #include "core/sorted_ops.hpp"
+#include "robustness/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
@@ -116,6 +117,13 @@ class PipelinedParallelHeap {
   void build(std::span<const T> items) {
     procs_.clear();
     inflight_ = 0;
+    // A throw mid-half-step (injected fault, user comparator) can strand
+    // already-spawned continuations in the transient scratch; if they
+    // survived a rebuild, the next half-step's merge_ctx would park them
+    // again and duplicate their carried items.
+    batch_.clear();
+    ctx_.spawned_.clear();
+    ctx_.stats_ = HeapStats{};
     const std::size_t m = (items.size() + r_ - 1) / r_;
     cnt_.assign(m, 0);
     arena_.assign(m * r_, T{});
@@ -195,17 +203,54 @@ class PipelinedParallelHeap {
     return step(new_items, k, out);
   }
 
-  /// Convenience wrappers matching the synchronous heap's API.
+  /// Convenience wrappers matching the synchronous heap's API. Both carry
+  /// the STRONG exception guarantee when guarded (set_batch_guard(true), or
+  /// automatically whenever any fail-point is armed): a throw mid-batch —
+  /// injected OOM, torn insert, throwing comparator — rolls the heap and the
+  /// output vector back to their pre-call state before rethrowing. Unguarded
+  /// calls pay nothing (one relaxed load and branch).
   void insert_batch(std::span<const T> items) {
     std::vector<T> sink;
-    step(items, 0, sink);
+    if (!batch_guarded()) {
+      step(items, 0, sink);
+      return;
+    }
+    const Snapshot snap = snapshot();
+    try {
+      step(items, 0, sink);
+    } catch (...) {
+      restore(snap);
+      throw;
+    }
   }
   std::size_t delete_min_batch(std::size_t k, std::vector<T>& out) {
-    std::size_t removed = 0;
-    while (removed < k && size_ > 0) {
-      removed += step({}, std::min({k - removed, r_, size_}), out);
+    if (!batch_guarded()) {
+      std::size_t removed = 0;
+      while (removed < k && size_ > 0) {
+        removed += step({}, std::min({k - removed, r_, size_}), out);
+      }
+      return removed;
     }
-    return removed;
+    const Snapshot snap = snapshot();
+    const std::size_t entry = out.size();
+    try {
+      std::size_t removed = 0;
+      while (removed < k && size_ > 0) {
+        removed += step({}, std::min({k - removed, r_, size_}), out);
+      }
+      return removed;
+    } catch (...) {
+      restore(snap);
+      out.resize(entry);
+      throw;
+    }
+  }
+
+  /// Forces the strong-guarantee path for the batch wrappers even with no
+  /// fail-point armed (real allocators and user comparators can throw too).
+  void set_batch_guard(bool on) noexcept { batch_guard_ = on; }
+  bool batch_guarded() const noexcept {
+    return batch_guard_ || robustness::any_armed();
   }
 
   /// Runs all pending processes to completion (oldest generation first:
@@ -280,17 +325,85 @@ class PipelinedParallelHeap {
     pstats_ = PipelineStats{};
   }
 
-  /// Testing-only faults the stress harness re-introduces to prove it
-  /// detects the historical bug classes (see testing/structures.hpp).
-  enum class InjectedFault : std::uint8_t {
-    kNone = 0,
-    /// Re-introduces the documented delete-update revert-note bug: spawn a
-    /// child's deferred re-service only when the stale violation check (the
-    /// currently-stored grandchildren) looks dirty. Unsound under
-    /// pipelining — the check can't see in-flight processes below.
-    kSkipDeferredReservice,
+  /// A checkpoint of the committed multiset: every stored item plus every
+  /// item in flight in a carried set. Taking one is O(n) copying and does
+  /// NOT drain — it is valid at any cycle boundary. The pipeline positions
+  /// themselves are not captured; restore() rebuilds from the items, which
+  /// preserves the deletion stream (the k smallest of a multiset don't
+  /// depend on which node holds what).
+  struct Snapshot {
+    std::vector<T> items;
   };
-  void inject_fault_for_testing(InjectedFault f) noexcept { fault_ = f; }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.items.reserve(size_);
+    for (std::size_t i = 0; i < cnt_.size(); ++i) {
+      s.items.insert(s.items.end(), arena_.begin() + static_cast<std::ptrdiff_t>(i * r_),
+                     arena_.begin() + static_cast<std::ptrdiff_t>(i * r_ + cnt_[i]));
+    }
+    for (const auto& lvl : procs_) {
+      for (const auto& p : lvl) {
+        s.items.insert(s.items.end(), p.carried.begin(), p.carried.end());
+      }
+    }
+    PH_ASSERT_MSG(s.items.size() == size_,
+                  ("snapshot(): stored + carried items (" +
+                   std::to_string(s.items.size()) + ") must equal committed size (" +
+                   std::to_string(size_) + ")")
+                      .c_str());
+    return s;
+  }
+
+  /// Rebuilds the heap from a checkpoint, discarding all in-flight state.
+  /// After a poisoned cycle (torn batch, mid-cycle throw) this returns the
+  /// structure to exactly the checkpointed multiset.
+  void restore(const Snapshot& s) { build(std::span<const T>(s.items)); }
+
+  /// Deep self-check that does NOT drain (usable mid-pipeline, const):
+  /// conservation (stored + carried == size_), ledger consistency
+  /// (inflight_ == parked processes), per-node capacity and sortedness, and
+  /// carried-set sortedness. Heap order between parent and child is only
+  /// meaningful at quiescence — check_invariants() (draining) covers it.
+  bool verify_invariants(std::string* why = nullptr) const {
+    std::size_t stored = 0;
+    for (std::size_t i = 0; i < cnt_.size(); ++i) {
+      if (cnt_[i] > r_) {
+        return fail(why, "node " + std::to_string(i) + " overfull: " +
+                             std::to_string(cnt_[i]) + " > r=" + std::to_string(r_));
+      }
+      stored += cnt_[i];
+      const std::span<const T> s{arena_.data() + i * r_, cnt_[i]};
+      if (!is_sorted_run(s, cmp_)) {
+        return fail(why, "node " + std::to_string(i) + " is not sorted");
+      }
+    }
+    std::size_t carried = 0;
+    std::size_t parked = 0;
+    for (const auto& lvl : procs_) {
+      for (const auto& p : lvl) {
+        ++parked;
+        carried += p.carried.size();
+        if (!is_sorted_run(std::span<const T>(p.carried), cmp_)) {
+          return fail(why, "carried set of process " + std::to_string(p.id) +
+                               " is not sorted");
+        }
+        if (p.kind == Kind::kDelete && !p.carried.empty()) {
+          return fail(why, "delete-update carries items");
+        }
+      }
+    }
+    if (stored + carried != size_) {
+      return fail(why, "conservation violated: stored " + std::to_string(stored) +
+                           " + carried " + std::to_string(carried) + " != size " +
+                           std::to_string(size_));
+    }
+    if (parked != inflight_) {
+      return fail(why, "inflight ledger mismatch: " + std::to_string(parked) +
+                           " parked != inflight " + std::to_string(inflight_));
+    }
+    return true;
+  }
 
  private:
   static bool fail(std::string* why, std::string msg) {
@@ -327,7 +440,8 @@ class PipelinedParallelHeap {
   }
 
   /// Smallest item among node i's children (nullptr if i has none).
-  const T* grandchild_min(std::size_t i) const noexcept {
+  /// NOT noexcept: calls the user comparator, which may throw.
+  const T* grandchild_min(std::size_t i) const {
     const T* best = nullptr;
     for (std::size_t c = 2 * i + 1; c <= 2 * i + 2; ++c) {
       if (node_count(c) == 0) continue;
@@ -456,7 +570,14 @@ class PipelinedParallelHeap {
     // re-service (which early-outs in O(1) when clean) is what makes the
     // pipeline sound.
     const FixOutcome<T> out = fix_node(sv, sl, sr, gl, gr, c.fix_, cmp_);
-    const bool skip_clean = fault_ == InjectedFault::kSkipDeferredReservice;
+    // kSkipReservice re-introduces the documented delete-update revert-note
+    // bug: spawn a child's deferred re-service only when the stale violation
+    // check (the currently-stored grandchildren) looks dirty. Unsound under
+    // pipelining — the check can't see in-flight processes below. This is a
+    // wrong-answer fault: nothing throws, the harness must DETECT the bad
+    // stream (armed with {nth=1, period=1, max_fires=0} it reproduces the
+    // old always-on inject_fault_for_testing behavior).
+    const bool skip_clean = robustness::fire(robustness::FailSite::kSkipReservice);
     if (out.taken_l > 0 && !(skip_clean && !out.l_violates)) {
       c.spawned_.push_back(ProcT{Kind::kDelete, l, 0, 0, {}});
     }
@@ -523,6 +644,9 @@ class PipelinedParallelHeap {
     telemetry::SpanScope span(telemetry::Phase::kRootWork);
     telemetry::count(telemetry::Counter::kCycles);
     telemetry::count(telemetry::Counter::kItemsInserted, new_items.size());
+    // Allocation-failure site at cycle entry: fires before any heap state is
+    // touched, modeling the root-work scratch buffers failing to grow.
+    robustness::fire_oom(robustness::FailSite::kRootAlloc);
     new_buf_.assign(new_items.begin(), new_items.end());
     std::sort(new_buf_.begin(), new_buf_.end(), cmp_);
 
@@ -592,6 +716,13 @@ class PipelinedParallelHeap {
   void spawn_inserts(std::span<const T> sorted) {
     std::size_t remaining = sorted.size();
     while (remaining > 0) {
+      // Torn-insert site: fires only once at least one chunk has already
+      // committed, so a firing always leaves a genuinely torn batch (part of
+      // the insert landed, the rest vanished mid-flight) — the case the
+      // strong-guarantee rollback must undo.
+      if (remaining < sorted.size()) {
+        robustness::fire_fault(robustness::FailSite::kTornInsert);
+      }
       const std::size_t used = size_ % r_;
       const std::size_t free_slots = used == 0 ? r_ : r_ - used;
       const std::size_t chunk = std::min(free_slots, remaining);
@@ -605,6 +736,9 @@ class PipelinedParallelHeap {
         std::copy(tmp_.begin(), tmp_.end(), arena_.begin());
         cnt_[0] += chunk;
       } else {
+        // Allocation-failure site: the carried-set vector is the one real
+        // allocation on this path.
+        robustness::fire_oom(robustness::FailSite::kSpawnAlloc);
         park(ProcT{Kind::kInsert, 0, target, next_id_++,
                    std::vector<T>(items.begin(), items.end())});
       }
@@ -662,7 +796,7 @@ class PipelinedParallelHeap {
 
   std::size_t r_;
   Compare cmp_;
-  InjectedFault fault_ = InjectedFault::kNone;
+  bool batch_guard_ = false;
   std::vector<T> arena_;
   std::vector<std::size_t> cnt_;
   std::size_t size_ = 0;

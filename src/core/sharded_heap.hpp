@@ -49,8 +49,10 @@
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "robustness/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
+#include "util/timer.hpp"
 
 namespace ph {
 
@@ -62,6 +64,7 @@ struct ShardedStats {
   std::uint64_t putbacks = 0;        ///< pulled-but-not-taken items returned
   std::uint64_t rebalances = 0;      ///< partition-map re-estimations applied
   std::uint64_t merge_width_sum = 0; ///< shards contributing >=1 item, summed
+  std::uint64_t quarantines = 0;     ///< shards retired by fault or deadline
 
   /// Mean routing imbalance: K * max-share / fair-share (1.0 = perfectly
   /// balanced, K = everything lands on one shard). NaN-free: 0 when idle.
@@ -149,6 +152,17 @@ class ShardedHeap {
     std::size_t rebalance_interval = 0;
     /// Rolling sample size backing re-estimation.
     std::size_t sample_capacity = 1024;
+    /// Graceful degradation: a shard whose cycle throws an injected failure
+    /// (while quarantine is on and a fail-point is armed) is checkpointed,
+    /// rolled back, drained, and retired — its items fold into this cycle's
+    /// tournament and its key range is redistributed across the survivors.
+    /// The last active shard is never quarantined.
+    bool quarantine = false;
+    /// Retire a shard whose completed cycle exceeded this wall-clock budget
+    /// (0 = no deadline). Same drain/redistribute path as a fault, except
+    /// the shard's pulled prefix (a valid deletion candidate set) joins the
+    /// recovery run instead of being rolled back.
+    std::uint64_t cycle_deadline_ns = 0;
   };
 
   ShardedHeap(std::size_t node_capacity, Config cfg, Compare cmp = Compare())
@@ -166,6 +180,8 @@ class ShardedHeap {
     route_buf_.resize(cfg_.shards);
     pulled_.resize(cfg_.shards);
     take_.resize(cfg_.shards);
+    redist_.resize(cfg_.shards);
+    reset_active();
   }
 
   ShardedHeap(std::size_t node_capacity, std::size_t shards, Compare cmp = Compare())
@@ -185,25 +201,31 @@ class ShardedHeap {
   const KeyRangePartitioner<T, Compare>& partitioner() const noexcept { return part_; }
   Shard& shard(std::size_t i) noexcept { return shards_[i]; }
 
+  /// Shards still serving traffic (== num_shards() until a quarantine).
+  std::size_t active_shards() const noexcept { return dense_.size(); }
+  bool shard_active(std::size_t i) const noexcept { return active_[i] != 0; }
+
   /// Forces an immediate partition-map re-estimation from the rolling
   /// sample (testing/tuning; the interval path calls this too).
   void rebalance_now() {
-    if (sample_.empty() || num_shards() == 1) return;
+    if (sample_.empty() || active_shards() == 1) return;
     part_.rebalance(std::span<const T>(sample_));
     ++stats_.rebalances;
     telemetry::count(telemetry::Counter::kShardRebalances);
   }
 
   /// Replaces the content: seeds the partition map from `items` and
-  /// bulk-loads each shard with its range.
+  /// bulk-loads each shard with its range. Quarantined shards are
+  /// reactivated (build is a full reset).
   void build(std::span<const T> items) {
+    reset_active();
     observe(items);
     if (!seeded_ && !items.empty()) {
       part_.rebalance(items);
       seeded_ = true;
     }
     for (auto& b : route_buf_) b.clear();
-    for (const T& v : items) route_buf_[part_.route(v)].push_back(v);
+    for (const T& v : items) route_buf_[slot_for(v)].push_back(v);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s].build(route_buf_[s]);
     }
@@ -216,6 +238,7 @@ class ShardedHeap {
   std::size_t cycle(std::span<const T> fresh, std::size_t k, std::vector<T>& out) {
     PH_ASSERT_MSG(k <= r_, "cycle(): k must not exceed the node capacity r");
     ++stats_.cycles;
+    recovery_.clear();
 
     // Phase 1: route. The first nonempty batch seeds the partition map.
     {
@@ -225,7 +248,7 @@ class ShardedHeap {
         seeded_ = true;
       }
       for (auto& b : route_buf_) b.clear();
-      for (const T& v : fresh) route_buf_[part_.route(v)].push_back(v);
+      for (const T& v : fresh) route_buf_[slot_for(v)].push_back(v);
     }
     if (!fresh.empty()) {
       std::size_t mx = 0;
@@ -236,17 +259,60 @@ class ShardedHeap {
       observe(fresh);
     }
 
-    // Phase 2: pull per-shard prefixes. Every shard cycles every global
-    // cycle — even an empty one — so parked update processes keep
-    // advancing at the global cycle rate.
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
+    // Phase 2: pull per-shard prefixes. Every active shard cycles every
+    // global cycle — even an empty one — so parked update processes keep
+    // advancing at the global cycle rate. A shard that trips a fail-point
+    // here (or finishes past its deadline) is quarantined: rolled back to
+    // its pre-cycle checkpoint (fault path only), drained, and folded into
+    // this cycle's tournament via the recovery run.
+    cycle_slots_.assign(dense_.begin(), dense_.end());
+    for (const std::size_t s : cycle_slots_) {
       pulled_[s].clear();
-      shards_[s].cycle(route_buf_[s], k, pulled_[s]);
+      // Checkpointing is O(shard size); only pay for it when an injected
+      // failure can actually fire and we have a survivor to fail over to.
+      const bool guard = cfg_.quarantine && active_shards() > 1 &&
+                         robustness::any_armed();
+      const bool timed = cfg_.cycle_deadline_ns > 0;
+      if (!guard && !timed) {
+        shards_[s].cycle(route_buf_[s], k, pulled_[s]);
+        continue;
+      }
+      typename Shard::Snapshot snap;
+      if (guard) snap = shards_[s].snapshot();
+      Timer t;
+      try {
+        if (guard) robustness::fire_fault(robustness::FailSite::kShardCycle);
+        shards_[s].cycle(route_buf_[s], k, pulled_[s]);
+      } catch (const robustness::InjectedFailure&) {
+        if (!guard) throw;
+        // The cycle died mid-flight: the shard may be poisoned and its
+        // routed batch was never committed. Roll back to the checkpoint,
+        // discard any partial pull, and retire the shard; checkpoint items
+        // plus the uncommitted routed batch form its recovery content.
+        shards_[s].restore(snap);
+        pulled_[s].clear();
+        extra_.assign(route_buf_[s].begin(), route_buf_[s].end());
+        std::sort(extra_.begin(), extra_.end(), cmp_);
+        quarantine_shard(s);
+        robustness::note_recovery(robustness::FailSite::kShardCycle);
+        continue;
+      }
+      if (timed && t.nanos() > cfg_.cycle_deadline_ns && active_shards() > 1) {
+        // Completed, but too slow to keep on the critical path. State is
+        // valid: its pulled prefix is a legitimate candidate set, so it
+        // joins the recovery run rather than being rolled back.
+        extra_.swap(pulled_[s]);  // already sorted
+        pulled_[s].clear();
+        quarantine_shard(s);
+      }
     }
 
-    // Phase 3: K-way tournament over the sorted prefixes; ties go to the
-    // lowest shard index (deterministic; invisible under multiset keys).
+    // Phase 3: K-way tournament over the sorted prefixes (plus the recovery
+    // run, if a quarantine happened this cycle); ties go to the lowest
+    // shard index, with the recovery run losing all ties (deterministic;
+    // invisible under multiset keys).
     std::size_t taken = 0;
+    std::size_t rec_take = 0;
     {
       telemetry::SpanScope span(telemetry::Phase::kShardMerge);
       std::fill(take_.begin(), take_.end(), std::size_t{0});
@@ -259,8 +325,16 @@ class ShardedHeap {
             best = s;
           }
         }
-        if (best == shards_.size()) break;  // all prefixes exhausted
-        out.push_back(pulled_[best][take_[best]++]);
+        const bool rec_has = rec_take < recovery_.size();
+        if (best == shards_.size()) {
+          if (!rec_has) break;  // all runs exhausted
+          out.push_back(recovery_[rec_take++]);
+        } else if (rec_has &&
+                   cmp_(recovery_[rec_take], pulled_[best][take_[best]])) {
+          out.push_back(recovery_[rec_take++]);
+        } else {
+          out.push_back(pulled_[best][take_[best]++]);
+        }
         ++taken;
       }
     }
@@ -268,6 +342,7 @@ class ShardedHeap {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (take_[s] > 0) ++width;
     }
+    if (rec_take > 0) ++width;
     stats_.merge_width_sum += width;
     telemetry::count(telemetry::Counter::kShardMergeWidth, width);
 
@@ -281,6 +356,25 @@ class ShardedHeap {
       stats_.putbacks += rest.size();
       telemetry::count(telemetry::Counter::kShardPutbacks, rest.size());
     }
+
+    // Phase 4b: redistribute the untaken recovery remainder across the
+    // survivors through the same insert-only path — routed by the (already
+    // rebuilt) partition map, so a quarantined shard's key range is served
+    // by the survivors from the very next route.
+    if (rec_take < recovery_.size()) {
+      for (auto& b : redist_) b.clear();
+      for (std::size_t i = rec_take; i < recovery_.size(); ++i) {
+        redist_[slot_for(recovery_[i])].push_back(recovery_[i]);
+      }
+      for (const std::size_t s : dense_) {
+        if (redist_[s].empty()) continue;
+        sink_.clear();
+        shards_[s].cycle(redist_[s], 0, sink_);
+        stats_.putbacks += redist_[s].size();
+        telemetry::count(telemetry::Counter::kShardPutbacks, redist_[s].size());
+      }
+    }
+    recovery_.clear();
 
     // Phase 5: periodic partition-map re-estimation, always between cycles
     // (never while shard pipelines are mid-half-step).
@@ -315,11 +409,81 @@ class ShardedHeap {
   }
 
  private:
+  /// Slot (index into shards_) serving value v under the current partition
+  /// map: the map spans only ACTIVE shards; dense_ translates its range
+  /// index to a physical slot.
+  std::size_t slot_for(const T& v) const { return dense_[part_.route(v)]; }
+
+  /// Reactivates every shard and restores the full-width partition map
+  /// (no-op unless a quarantine actually happened; ctor bootstrap aside).
+  void reset_active() {
+    if (!active_.empty() && dense_.size() == shards_.size()) return;
+    active_.assign(cfg_.shards, std::uint8_t{1});
+    dense_.resize(cfg_.shards);
+    for (std::size_t i = 0; i < cfg_.shards; ++i) dense_[i] = i;
+    if (part_.shards() != cfg_.shards) {
+      part_ = KeyRangePartitioner<T, Compare>(cfg_.shards, cmp_);
+      seeded_ = false;
+      if (!sample_.empty()) {
+        part_.rebalance(std::span<const T>(sample_));
+        seeded_ = true;
+      }
+    }
+  }
+
+  /// Retires shard `s`: drains it (plus `extra_`, the caller-supplied
+  /// sorted items stranded by the failure) into the cycle's recovery run,
+  /// removes it from the routing table, and narrows the partition map to
+  /// the survivors — re-estimated from the rolling sample so the dead
+  /// shard's key range splits across them instead of piling onto one
+  /// neighbor. Conservation: recovery_ gains exactly the shard's committed
+  /// items plus extra_; nothing else moves.
+  void quarantine_shard(std::size_t s) {
+    PH_ASSERT_MSG(active_shards() > 1, "cannot quarantine the last shard");
+    PH_ASSERT(active_[s] != 0);
+    active_[s] = 0;
+    dense_.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (active_[i] != 0) dense_.push_back(i);
+    }
+    part_ = KeyRangePartitioner<T, Compare>(dense_.size(), cmp_);
+    seeded_ = false;
+    if (!sample_.empty()) {
+      part_.rebalance(std::span<const T>(sample_));
+      seeded_ = true;
+    }
+    const std::vector<T> drained = shards_[s].sorted_contents();
+    // sorted_contents() copies; actually empty the retired shard so its
+    // items *move* into the recovery run — otherwise size()/empty() keep
+    // counting the dead shard's stale copy forever.
+    shards_[s].build(std::span<const T>{});
+    const std::size_t mid = recovery_.size();
+    recovery_.insert(recovery_.end(), drained.begin(), drained.end());
+    recovery_.insert(recovery_.end(), extra_.begin(), extra_.end());
+    extra_.clear();
+    // Both pieces are sorted; a repeated quarantine in one cycle appends
+    // another pair — sort the whole (cold-path) run once.
+    std::sort(recovery_.begin() + static_cast<std::ptrdiff_t>(mid), recovery_.end(),
+              cmp_);
+    std::inplace_merge(recovery_.begin(),
+                       recovery_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       recovery_.end(),
+                       [this](const T& a, const T& b) { return cmp_(a, b); });
+    ++stats_.quarantines;
+    telemetry::count(telemetry::Counter::kShardQuarantines);
+  }
+
   /// Rolling insert sample backing rebalance (overwrite-oldest ring; cheap,
   /// deterministic, biased to recent batches — which is the point: the map
   /// should track where keys are arriving *now*).
   void observe(std::span<const T> items) {
-    if (cfg_.rebalance_interval == 0 && seeded_) return;  // static map
+    // Static maps stop sampling after the seed — unless quarantine (or a
+    // cycle deadline) is on, where the sample feeds the post-retirement
+    // partition re-estimation.
+    if (cfg_.rebalance_interval == 0 && !cfg_.quarantine &&
+        cfg_.cycle_deadline_ns == 0 && seeded_) {
+      return;
+    }
     for (const T& v : items) {
       if (sample_.size() < cfg_.sample_capacity) {
         sample_.push_back(v);
@@ -337,14 +501,19 @@ class ShardedHeap {
   std::vector<Shard> shards_;
   bool seeded_ = false;
 
+  // Quarantine bookkeeping: active_[slot] flags live shards; dense_ maps the
+  // partition map's [0, active) range index to a physical slot.
+  std::vector<std::uint8_t> active_;
+  std::vector<std::size_t> dense_;
+
   ShardedStats stats_;
   std::vector<T> sample_;
   std::size_t sample_cursor_ = 0;
 
   // Scratch (reused; allocation-free after warm-up).
-  std::vector<std::vector<T>> route_buf_, pulled_;
-  std::vector<std::size_t> take_;
-  std::vector<T> sink_;
+  std::vector<std::vector<T>> route_buf_, pulled_, redist_;
+  std::vector<std::size_t> take_, cycle_slots_;
+  std::vector<T> sink_, recovery_, extra_;
 };
 
 }  // namespace ph

@@ -1,0 +1,368 @@
+// Fault matrix — one differential drill per registered fail-point site.
+//
+// The acceptance bar for the robustness layer is not "the fault fires" but
+// "the fault fires AND the documented guarantee holds afterwards". This
+// header encodes that bar as a sweep: for every FailSite there is a drill
+// that arms the site with a deterministic schedule, drives a structure
+// through the differential harness (testing/differential.hpp), and verifies
+// the site-specific contract:
+//
+//   root_alloc / spawn_alloc / torn_insert / compare_throw
+//       strong guarantee: a guarded retry wrapper checkpoints before each
+//       cycle, rolls back on the injected throw, and retries — the deletion
+//       stream must match the sorted-multiset oracle EXACTLY, as if no
+//       fault ever fired.
+//   skip_reservice
+//       detection: the historical revert-note bug produces wrong answers
+//       without throwing; the drill passes iff the differential harness
+//       CATCHES it (a clean run here is the failure).
+//   worker_stall
+//       liveness: bounded injected delays on ThreadTeam workers must not
+//       change the deletion stream (exercises the barrier backoff ladder).
+//   think_throw
+//       at-least-once: engine think lanes that throw are requeued; every
+//       seeded item must still be processed and the heap must drain empty.
+//   shard_cycle
+//       graceful degradation: a quarantined shard's items fold into the
+//       tournament and survivors take over its range — stream stays EXACT.
+//
+// Everything is derived from one seed; a failing drill is reproducible from
+// (site, seed) alone. run_fault_matrix is what `ph_stress --failpoint` and
+// the CI fault-matrix job execute.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/pipelined_heap.hpp"
+#include "core/sharded_heap.hpp"
+#include "robustness/failpoint.hpp"
+#include "testing/differential.hpp"
+#include "testing/op_trace.hpp"
+#include "testing/structures.hpp"
+
+namespace ph::robustness {
+
+struct FaultMatrixConfig {
+  std::uint64_t seed = 1;
+  std::size_t r = 8;            ///< node capacity for the heap drills
+  std::size_t cycles = 300;     ///< ops per drill trace
+  std::uint64_t key_bound = std::uint64_t{1} << 16;
+  std::size_t shards = 4;       ///< K for the quarantine drill
+};
+
+struct FaultSiteResult {
+  FailSite site = FailSite::kCount;
+  SiteStats stats;      ///< evaluations/fires/recoveries after the drill
+  bool fired = false;   ///< site fired at least once
+  bool ok = false;      ///< site-specific contract held
+  std::string detail;   ///< failure description (empty when ok)
+};
+
+struct FaultMatrixReport {
+  std::vector<FaultSiteResult> rows;
+
+  /// Green iff every registered site fired at least once AND every drill's
+  /// contract held.
+  bool ok() const noexcept {
+    if (rows.size() != kNumFailSites) return false;
+    for (const FaultSiteResult& r : rows) {
+      if (!r.fired || !r.ok) return false;
+    }
+    return true;
+  }
+};
+
+namespace fm_detail {
+
+using U64 = std::uint64_t;
+
+/// Comparator that is also a fail-point site: models a user comparator
+/// throwing from inside the heap's merge loops.
+struct ThrowingLess {
+  bool operator()(U64 a, U64 b) const {
+    fire_fault(FailSite::kCompareThrow);
+    return a < b;
+  }
+};
+
+/// Strong-guarantee retry wrapper: checkpoint before each cycle, roll back
+/// and retry on an injected failure. With a retry cap the drill cannot hang
+/// even under a pathological arming spec; the differential oracle then
+/// verifies the stream is EXACTLY what a fault-free run would produce.
+template <typename Cmp>
+class GuardedPipelinedAdapter {
+ public:
+  explicit GuardedPipelinedAdapter(std::size_t r, FailSite site)
+      : q_(r, Cmp{}), site_(site) {}
+
+  std::size_t cycle(std::span<const U64> fresh, std::size_t k,
+                    std::vector<U64>& out) {
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      auto snap = take_snapshot();
+      const std::size_t entry = out.size();
+      try {
+        return q_.cycle(fresh, k, out);
+      } catch (const InjectedFailure&) {
+        out.resize(entry);
+        restore_with_retry(snap);
+        note_recovery(site_);
+      }
+    }
+    // Surfaced as a stream mismatch by the harness.
+    return 0;
+  }
+
+  bool check_invariants(std::string* why) {
+    // The draining deep check compares too — an injected comparator throw
+    // mid-drain would poison the heap outside cycle()'s guard. Checkpoint,
+    // and on a fire roll back and report the check clean (it ran partially;
+    // the next stride retries it).
+    auto snap = take_snapshot();
+    try {
+      if (!q_.verify_invariants(why)) return false;
+      return q_.check_invariants(why);
+    } catch (const InjectedFailure&) {
+      restore_with_retry(snap);
+      note_recovery(site_);
+      return true;
+    }
+  }
+
+ private:
+  static constexpr int kMaxRetries = 64;
+
+  typename PipelinedParallelHeap<U64, Cmp>::Snapshot take_snapshot() {
+    // snapshot() copies without comparing, but keep the retry discipline
+    // anyway: it must never be the thing that sinks the drill.
+    return q_.snapshot();
+  }
+
+  void restore_with_retry(const typename PipelinedParallelHeap<U64, Cmp>::Snapshot& s) {
+    // restore() re-sorts with the (possibly throwing) comparator; restore
+    // from the same snapshot until it sticks — restore is idempotent, it
+    // only reads the snapshot's items.
+    for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+      try {
+        q_.restore(s);
+        return;
+      } catch (const InjectedFailure&) {
+      }
+    }
+  }
+
+  PipelinedParallelHeap<U64, Cmp> q_;
+  FailSite site_;
+};
+
+inline testing::OpTrace drill_trace(const FaultMatrixConfig& cfg, FailSite site) {
+  testing::GenConfig gen;
+  gen.r = cfg.r;
+  gen.cycles = cfg.cycles;
+  gen.key_bound = cfg.key_bound;
+  gen.seed = cfg.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<U64>(site) + 1));
+  return testing::generate_trace(gen);
+}
+
+inline FaultSiteResult finish(FailSite site, bool ok, std::string detail) {
+  FaultSiteResult row;
+  row.site = site;
+  row.stats = stats(site);
+  row.fired = row.stats.fires > 0;
+  row.ok = ok;
+  row.detail = std::move(detail);
+  disarm_all();
+  return row;
+}
+
+/// Rollback drills: injected throw mid-cycle, guarded retry, exact stream.
+template <typename Cmp>
+FaultSiteResult rollback_drill(const FaultMatrixConfig& cfg, FailSite site,
+                               FireSpec spec) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, site);
+  GuardedPipelinedAdapter<Cmp> q(cfg.r, site);
+  arm(site, spec);
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, opt);
+  std::string detail;
+  bool ok = !f.failed;
+  if (f.failed) detail = "differential failed after rollback: " + f.message;
+  return finish(site, ok, std::move(detail));
+}
+
+inline FaultSiteResult skip_reservice_drill(const FaultMatrixConfig& cfg) {
+  // Detection drill: the harness must CATCH the wrong-answer bug. One
+  // (r, seed) combination can pass by luck; sweep a few deterministically
+  // and require at least one catch with the site having fired.
+  disarm_all();
+  bool detected = false;
+  std::uint64_t fires = 0;
+  for (const std::size_t r : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+    for (std::uint64_t round = 0; round < 3 && !detected; ++round) {
+      testing::GenConfig gen;
+      gen.r = r;
+      gen.cycles = cfg.cycles;
+      gen.key_bound = cfg.key_bound;
+      gen.seed = cfg.seed + 1000 * r + round;
+      testing::OpTrace trace = testing::generate_trace(gen);
+      trace.structure = "pipelined_heap_faulty";  // arms the site itself
+      const testing::DiffFailure f = testing::run_trace(trace);
+      fires += stats(FailSite::kSkipReservice).fires;
+      if (f.failed) detected = true;
+    }
+    if (detected) break;
+  }
+  FaultSiteResult row;
+  row.site = FailSite::kSkipReservice;
+  row.stats = stats(FailSite::kSkipReservice);
+  row.stats.fires = std::max<std::uint64_t>(row.stats.fires, fires);
+  row.fired = fires > 0;
+  row.ok = detected;
+  if (!detected) {
+    row.detail = "harness failed to detect the skip-reservice wrong-answer bug";
+  } else {
+    note_recovery(FailSite::kSkipReservice);  // verified detection
+    row.stats.recoveries = stats(FailSite::kSkipReservice).recoveries;
+  }
+  disarm_all();
+  return row;
+}
+
+inline FaultSiteResult worker_stall_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kWorkerStall);
+  testing::MtPipelinedHeapAdapter q(cfg.r);
+  arm(FailSite::kWorkerStall,
+      FireSpec{/*nth=*/3, /*period=*/7, /*max_fires=*/40, /*stall_us=*/100});
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, opt);
+  const bool ok = !f.failed;
+  if (ok) note_recovery(FailSite::kWorkerStall);  // stalls absorbed, stream exact
+  return finish(FailSite::kWorkerStall, ok,
+                ok ? "" : "stream diverged under injected worker stalls: " + f.message);
+}
+
+inline FaultSiteResult shard_cycle_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kShardCycle);
+  using SH = ShardedHeap<U64>;
+  SH::Config scfg;
+  scfg.shards = cfg.shards;
+  scfg.rebalance_interval = 16;
+  scfg.quarantine = true;
+  SH q(cfg.r, scfg);
+  // Evaluations advance once per active shard per cycle; fire twice early
+  // so the drill covers quarantine-then-keep-running and a repeat
+  // quarantine with one fewer survivor.
+  arm(FailSite::kShardCycle,
+      FireSpec{/*nth=*/cfg.shards + 2, /*period=*/6 * cfg.shards + 1,
+               /*max_fires=*/2, /*stall_us=*/0});
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, opt);
+  std::string detail;
+  bool ok = !f.failed;
+  if (f.failed) {
+    detail = "stream diverged across quarantine: " + f.message;
+  } else if (q.sharded_stats().quarantines == 0 &&
+             stats(FailSite::kShardCycle).fires > 0) {
+    ok = false;
+    detail = "shard_cycle fired but no quarantine was recorded";
+  }
+  return finish(FailSite::kShardCycle, ok, std::move(detail));
+}
+
+inline FaultSiteResult think_throw_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  EngineConfig ecfg;
+  ecfg.node_capacity = cfg.r;
+  ecfg.think_threads = 2;
+  ecfg.batch = cfg.r;
+  ParallelHeapEngine<U64> engine(ecfg);
+  const std::size_t n = std::min<std::size_t>(cfg.cycles * cfg.r / 4 + 64, 4096);
+  std::vector<U64> seedv(n);
+  for (std::size_t i = 0; i < n; ++i) seedv[i] = static_cast<U64>(i);
+  engine.seed(seedv);
+
+  // Each lane appends into its own slot; merged after run() returns.
+  std::vector<std::vector<U64>> processed(2);
+  arm(FailSite::kThinkThrow,
+      FireSpec{/*nth=*/2, /*period=*/5, /*max_fires=*/4, /*stall_us=*/0});
+  const EngineReport rep = engine.run(
+      [&](unsigned tid, std::span<const U64> mine, std::span<const U64>,
+          std::vector<U64>&) {
+        processed[tid].insert(processed[tid].end(), mine.begin(), mine.end());
+      });
+
+  std::vector<U64> all;
+  for (const auto& p : processed) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  bool ok = true;
+  std::string detail;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::binary_search(all.begin(), all.end(), static_cast<U64>(i))) {
+      ok = false;
+      detail = "item " + std::to_string(i) + " was never processed after requeue";
+      break;
+    }
+  }
+  if (ok && !engine.heap().empty()) {
+    ok = false;
+    detail = "heap not drained after run";
+  }
+  if (ok && stats(FailSite::kThinkThrow).fires > 0 && rep.think_faults == 0) {
+    ok = false;
+    detail = "think_throw fired but no lane fault was recorded";
+  }
+  return finish(FailSite::kThinkThrow, ok, std::move(detail));
+}
+
+}  // namespace fm_detail
+
+/// Runs every site's drill; see the file comment for the per-site contracts.
+inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
+                                          std::ostream* log = nullptr) {
+  FaultMatrixReport rep;
+  static_assert(kNumFailSites == 8, "new FailSite needs a fault-matrix drill");
+
+  rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
+      cfg, FailSite::kRootAlloc,
+      FireSpec{/*nth=*/7, /*period=*/23, /*max_fires=*/8, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
+      cfg, FailSite::kSpawnAlloc,
+      FireSpec{/*nth=*/3, /*period=*/17, /*max_fires=*/8, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
+      cfg, FailSite::kTornInsert,
+      FireSpec{/*nth=*/2, /*period=*/13, /*max_fires=*/8, /*stall_us=*/0}));
+  // Comparator evaluations are the hot path: fire rarely, bounded.
+  rep.rows.push_back(fm_detail::rollback_drill<fm_detail::ThrowingLess>(
+      cfg, FailSite::kCompareThrow,
+      FireSpec{/*nth=*/5000, /*period=*/9973, /*max_fires=*/4, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::skip_reservice_drill(cfg));
+  rep.rows.push_back(fm_detail::think_throw_drill(cfg));
+  rep.rows.push_back(fm_detail::worker_stall_drill(cfg));
+  rep.rows.push_back(fm_detail::shard_cycle_drill(cfg));
+
+  if (log) {
+    for (const FaultSiteResult& r : rep.rows) {
+      *log << "fault-matrix: " << fail_site_name(r.site)
+           << (r.ok ? "  OK " : "  FAIL ") << "(evals=" << r.stats.evaluations
+           << " fires=" << r.stats.fires << " recoveries=" << r.stats.recoveries
+           << ")";
+      if (!r.detail.empty()) *log << " — " << r.detail;
+      *log << "\n";
+    }
+    *log << "fault-matrix: " << (rep.ok() ? "ALL SITES GREEN" : "RED") << "\n";
+  }
+  return rep;
+}
+
+}  // namespace ph::robustness

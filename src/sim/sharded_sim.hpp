@@ -31,6 +31,8 @@ struct ShardedSimConfig {
   std::size_t node_capacity = 64;       ///< r of each shard engine
   std::size_t batch = 64;               ///< deletion budget per cycle (<= r)
   std::size_t rebalance_interval = 32;  ///< cycles between map re-estimations
+  bool quarantine = false;              ///< retire a shard that trips a fail-point
+  std::uint64_t cycle_deadline_ns = 0;  ///< retire a shard slower than this (0=off)
 };
 
 struct ShardedSimResult {
@@ -45,7 +47,8 @@ inline ShardedSimResult run_sharded_sim(const Model& model, double end_time,
                                         const ShardedSimConfig& cfg) {
   ShardedEventHeap q(cfg.node_capacity,
                      ShardedEventHeap::Config{cfg.shards, cfg.rebalance_interval,
-                                              /*sample_capacity=*/1024});
+                                              /*sample_capacity=*/1024,
+                                              cfg.quarantine, cfg.cycle_deadline_ns});
   ShardedSimResult res;
   res.sim = run_sync_sim(q, model, end_time, cfg.batch);
   res.shard = q.sharded_stats();

@@ -1,8 +1,42 @@
 #include "telemetry/counters.hpp"
 
+#include <cstdio>
+#include <iostream>
+
 #include "telemetry/json.hpp"
+#include "util/assert.hpp"
 
 namespace ph::telemetry {
+
+namespace {
+
+// PH_ASSERT flush hook: a failed assertion dumps the merged counter table
+// and the full Chrome-format trace rings (last ~8k spans per thread) to
+// stderr before aborting, so a sanitizer/CI failure carries the run's
+// recent history instead of one line. collect() is safe while writers run;
+// the trace rings may race with still-running owners, but we are already
+// aborting — a torn span in the post-mortem beats no post-mortem.
+void flush_telemetry_on_assert() {
+  std::fprintf(stderr, "ph: telemetry at assertion failure:\n");
+  const MetricsSnapshot snap = Registry::instance().collect();
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    if (snap.counters[c] == 0) continue;
+    std::fprintf(stderr, "ph:   %-18s %llu\n", counter_name(static_cast<Counter>(c)),
+                 static_cast<unsigned long long>(snap.counters[c]));
+  }
+  std::fprintf(stderr, "ph: trace ring (chrome trace_event JSON):\n");
+  write_chrome_trace(std::cerr);
+  std::cerr << std::endl;
+}
+
+// Registered at static-initialization time from the one translation unit
+// every ph_lib consumer links.
+[[maybe_unused]] const bool g_assert_hook_registered = [] {
+  ph::set_assert_flush_hook(&flush_telemetry_on_assert);
+  return true;
+}();
+
+}  // namespace
 
 const char* phase_name(Phase p) noexcept {
   switch (p) {
@@ -34,6 +68,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kShardPutbacks: return "shard_putbacks";
     case Counter::kShardRebalances: return "shard_rebalances";
     case Counter::kShardMergeWidth: return "shard_merge_width";
+    case Counter::kWatchdogStalls: return "watchdog_stalls";
+    case Counter::kShardQuarantines: return "shard_quarantines";
+    case Counter::kThinkFaults: return "think_faults";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -56,10 +56,13 @@ enum class Counter : unsigned {
   kSteals,
   kThinkItems,
   kHalfSteps,
-  kShardRouted,     ///< items routed across shards by the partition map
-  kShardPutbacks,   ///< pulled-but-untaken prefix items returned to shards
-  kShardRebalances, ///< partition-map re-estimations applied
-  kShardMergeWidth, ///< shards contributing to a deletion batch, summed
+  kShardRouted,      ///< items routed across shards by the partition map
+  kShardPutbacks,    ///< pulled-but-untaken prefix items returned to shards
+  kShardRebalances,  ///< partition-map re-estimations applied
+  kShardMergeWidth,  ///< shards contributing to a deletion batch, summed
+  kWatchdogStalls,   ///< watchdog polls that found a stalled channel
+  kShardQuarantines, ///< shards retired by fault or deadline
+  kThinkFaults,      ///< engine think-callbacks that threw (lane recovered)
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

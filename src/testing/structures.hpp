@@ -34,6 +34,7 @@
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
 #include "core/stable_heap.hpp"
+#include "robustness/failpoint.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
 #include "util/thread_pool.hpp"
@@ -261,8 +262,25 @@ inline DiffFailure run_trace(const OpTrace& t) {
     opt.invariant_stride = 64;  // check drains the pipeline: keep it rare
     PipelinedParallelHeap<U64> q(t.r);
     if (s == "pipelined_heap_faulty") {
-      q.inject_fault_for_testing(
-          PipelinedParallelHeap<U64>::InjectedFault::kSkipDeferredReservice);
+      // The historical revert-note bug, re-introduced through the fail-point
+      // registry (the one injection mechanism): fire on every evaluation,
+      // unbounded — the registry-spec equivalent of the old always-on
+      // inject_fault_for_testing(kSkipDeferredReservice). The structure name
+      // is what repro files reference; it stays stable across the migration.
+      if (!robustness::kFailpoints) {
+        DiffFailure f;
+        f.failed = true;
+        f.message =
+            "pipelined_heap_faulty requires a PH_FAILPOINTS=ON build "
+            "(fail-point registry compiled out)";
+        return f;
+      }
+      robustness::arm(robustness::FailSite::kSkipReservice,
+                      robustness::FireSpec{/*nth=*/1, /*period=*/1,
+                                           /*max_fires=*/0, /*stall_us=*/0});
+      DiffFailure f = run_differential(q, t, opt);
+      robustness::disarm(robustness::FailSite::kSkipReservice);
+      return f;
     }
     return run_differential(q, t, opt);
   }

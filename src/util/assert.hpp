@@ -7,15 +7,46 @@
 // heavyweight checks (full-tree invariant scans).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ph {
 
+/// Called (at most once, best effort) after an assertion failure is printed
+/// and before abort(). The telemetry layer registers a hook that flushes the
+/// counter table and trace rings to stderr, so a sanitizer/CI assert carries
+/// its last ~8k events instead of just one line. The hook must not assume a
+/// sane heap — it runs on the failing thread with invariants already broken.
+using AssertFlushHook = void (*)();
+
+namespace assert_detail {
+inline std::atomic<AssertFlushHook>& flush_hook() {
+  static std::atomic<AssertFlushHook> hook{nullptr};
+  return hook;
+}
+inline std::atomic<bool>& flushing() {
+  static std::atomic<bool> f{false};
+  return f;
+}
+}  // namespace assert_detail
+
+inline void set_assert_flush_hook(AssertFlushHook hook) noexcept {
+  assert_detail::flush_hook().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "ph: assertion failed: %s (%s:%d)%s%s\n", expr, file, line,
                msg ? " — " : "", msg ? msg : "");
+  // Re-entrancy guard: if the flush hook itself asserts (it runs over a
+  // possibly-corrupt process), fall straight through to abort.
+  if (!assert_detail::flushing().exchange(true, std::memory_order_acq_rel)) {
+    if (AssertFlushHook hook =
+            assert_detail::flush_hook().load(std::memory_order_acquire)) {
+      hook();
+    }
+  }
   std::abort();
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -41,9 +42,27 @@ class SenseBarrier {
       sense_.store(local_sense, std::memory_order_release);
     } else {
       testing::sched_point(testing::SchedPoint::kBarrierSpin);
+      // Bounded-exponential backoff ladder: pause → yield → sleep. Pure
+      // spinning livelocks when parties > cores (the releaser may be
+      // descheduled behind the spinners); pure yielding burns a scheduler
+      // round-trip per probe. Spin briefly for the common uncontended case,
+      // yield a handful of rounds, then sleep with doubling duration capped
+      // at ~1ms so a long-stalled releaser costs microseconds of latency,
+      // not a core.
       std::uint32_t spins = 0;
+      std::uint32_t sleep_us = 1;
       while (sense_.load(std::memory_order_acquire) != local_sense) {
-        if (++spins > 1024) std::this_thread::yield();
+        ++spins;
+        if (spins <= kSpinRounds) {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+        } else if (spins <= kSpinRounds + kYieldRounds) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+          if (sleep_us < kMaxSleepUs) sleep_us *= 2;
+        }
       }
     }
   }
@@ -56,6 +75,10 @@ class SenseBarrier {
   }
 
  private:
+  static constexpr std::uint32_t kSpinRounds = 1024;
+  static constexpr std::uint32_t kYieldRounds = 64;
+  static constexpr std::uint32_t kMaxSleepUs = 1024;
+
   const std::uint32_t parties_;
   alignas(kCacheLine) std::atomic<std::uint32_t> remaining_;
   alignas(kCacheLine) std::atomic<bool> sense_{false};

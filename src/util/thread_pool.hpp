@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "robustness/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "testing/sched_fuzz.hpp"
 #include "util/affinity.hpp"
@@ -114,6 +115,10 @@ class ThreadTeam {
         task = task_;
       }
       testing::sched_point(testing::SchedPoint::kTeamTaskStart);
+      // Worker-stall site: a bounded injected delay before the task body,
+      // modeling a descheduled/oversubscribed worker. Exercises the barrier
+      // backoff ladder and gives the phase watchdog something to catch.
+      robustness::maybe_stall(robustness::FailSite::kWorkerStall);
       (*task)(tid);
       testing::sched_point(testing::SchedPoint::kTeamTaskDone);
       {

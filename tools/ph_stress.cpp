@@ -10,6 +10,10 @@
 //   ph_stress --structures pipelined_heap_faulty --must-fail
 //                                     # CI detection proof: exit 0 iff the
 //                                     # injected fault was caught
+//   ph_stress --failpoint             # fault-matrix sweep: fire every
+//                                     # registered fail-point site inside a
+//                                     # differential drill; exit 0 iff every
+//                                     # site fired AND recovered/was detected
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "robustness/fault_matrix.hpp"
 #include "testing/sched_fuzz.hpp"
 #include "testing/stress.hpp"
 
@@ -39,7 +44,10 @@ void usage(const char* argv0) {
                "  --no-shrink         keep failing traces unminimized\n"
                "  --sched-fuzz SEED   arm the schedule perturbation hooks (if compiled in)\n"
                "  --sched-fuzz-permille N  per-crossing yield probability, 0..1000 (default 200)\n"
-               "  --must-fail         invert the exit code: 0 iff failures were found\n",
+               "  --must-fail         invert the exit code: 0 iff failures were found\n"
+               "  --failpoint         run the fault matrix instead of the soak: every\n"
+               "                      registered fail-point site is fired inside a\n"
+               "                      differential drill (uses --seed/--cycles)\n",
                argv0);
 }
 
@@ -71,6 +79,7 @@ std::uint64_t parse_u64(const char* s, const char* what) {
 int main(int argc, char** argv) {
   ph::testing::StressConfig cfg;
   bool must_fail = false;
+  bool failpoint = false;
   bool sched_fuzz = false;
   std::uint64_t sched_fuzz_seed = 0;
   std::uint64_t sched_fuzz_permille = 200;
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--must-fail") == 0) {
       must_fail = true;
+    } else if (std::strcmp(a, "--failpoint") == 0) {
+      failpoint = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(argv[0]);
       return 0;
@@ -132,6 +143,23 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (failpoint) {
+    if (!ph::robustness::kFailpoints) {
+      std::fprintf(stderr,
+                   "ph_stress: --failpoint requested but the fail-point sites are "
+                   "not compiled in (build with -DPH_FAILPOINTS=ON)\n");
+      return 2;
+    }
+    ph::robustness::FaultMatrixConfig fcfg;
+    fcfg.seed = cfg.seed;
+    if (cfg.cycles != ph::testing::StressConfig{}.cycles) fcfg.cycles = cfg.cycles;
+    const ph::robustness::FaultMatrixReport rep =
+        ph::robustness::run_fault_matrix(fcfg, &std::cerr);
+    std::printf("fault-matrix: %zu sites, %s\n", rep.rows.size(),
+                rep.ok() ? "all fired and recovered" : "FAILURES");
+    return rep.ok() ? 0 : 1;
   }
 
   if (sched_fuzz) {
