@@ -1,0 +1,165 @@
+// E14 — durability tax: WAL overhead per op versus fsync policy, checkpoint
+// publication latency versus heap size, and restart (recovery) latency for
+// checkpoint-dominated and WAL-replay-dominated directories.
+//
+// Claim shapes: FsyncPolicy::kNever logs at memcpy+write(2) cost (small
+// constant factor over the bare heap on the hold model); kEveryRecord pays
+// one fsync per cycle and is storage-latency-bound — the interesting number
+// is ns/op *overhead*, not absolute throughput. Checkpoint cost is O(n) in
+// heap size with a bandwidth-shaped constant; recovery from a checkpoint is
+// O(n) load while WAL-tail replay is O(ops) re-execution, which is why the
+// checkpoint interval knob trades runtime overhead against restart time.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipelined_heap.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/recovery.hpp"
+#include "util/timer.hpp"
+#include "workloads/hold_model.hpp"
+
+namespace {
+
+using U64 = std::uint64_t;
+using ph::persist::DurableHeap;
+using ph::persist::DurableOptions;
+using ph::persist::FsyncPolicy;
+using DH = DurableHeap<ph::PipelinedParallelHeap<U64>>;
+
+struct TempDir {
+  std::string path;
+  TempDir() : path(ph::persist::make_temp_dir("ph-bench-persist")) {}
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+double hold_ns_per_op_bare(const ph::HoldConfig& cfg, std::size_t r) {
+  ph::PipelinedParallelHeap<U64> q(r);
+  q.build(ph::hold_initial(cfg));
+  ph::Timer t;
+  const ph::HoldResult res = ph::batch_hold(q, cfg, r);
+  return t.seconds() / static_cast<double>(res.ops) * 1e9;
+}
+
+double hold_ns_per_op_durable(const ph::HoldConfig& cfg, std::size_t r,
+                              FsyncPolicy fsync, std::size_t interval) {
+  TempDir dir;
+  DurableOptions d;
+  d.dir = dir.path;
+  d.fsync = fsync;
+  d.checkpoint_interval = interval;
+  d.checkpoint_on_open = false;
+  DH q(ph::PipelinedParallelHeap<U64>(r), d);
+  q.build(ph::hold_initial(cfg));
+  ph::Timer t;
+  const ph::HoldResult res = ph::batch_hold(q, cfg, r);
+  return t.seconds() / static_cast<double>(res.ops) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ph::bench::parse_args(argc, argv);
+  using namespace ph;
+  using namespace ph::bench;
+
+  header("E14 durability tax: WAL fsync policies, checkpoint + recovery latency",
+         "claim: kNever logging costs a small constant factor over the bare "
+         "heap; kEveryRecord is fsync-latency-bound; checkpoint write and "
+         "checkpoint-based recovery are O(n), WAL replay is O(ops)");
+
+  // --- WAL overhead per hold op, by fsync policy --------------------------
+  HoldConfig hc;
+  hc.n = 1 << 14;
+  hc.ops = 1 << 16;
+  const std::size_t r = 512;
+  const double bare = hold_ns_per_op_bare(hc, r);
+
+  columns("mode,fsync,ns_per_op,overhead_x");
+  row("bare,-,%.0f,1.00", bare);
+  json_metric("hold_ns_per_op_bare", bare);
+  struct PolicyCase {
+    FsyncPolicy fsync;
+    std::size_t interval;
+  };
+  const PolicyCase cases[] = {{FsyncPolicy::kNever, 0},
+                              {FsyncPolicy::kOnCheckpoint, 64},
+                              {FsyncPolicy::kEveryRecord, 64}};
+  for (const auto& c : cases) {
+    const double ns = hold_ns_per_op_durable(hc, r, c.fsync, c.interval);
+    const char* name = persist::fsync_policy_name(c.fsync);
+    row("wal,%s,%.0f,%.2f", name, ns, ns / bare);
+    json_metric(std::string("hold_ns_per_op_wal_") + name, ns);
+    json_metric(std::string("wal_overhead_x_") + name, ns / bare);
+  }
+
+  // --- checkpoint write + load latency vs heap size -----------------------
+  columns("op,n,millis,mb");
+  for (const std::size_t n : {std::size_t{1} << 14, std::size_t{1} << 16,
+                              std::size_t{1} << 18}) {
+    TempDir dir;
+    HoldConfig init;
+    init.n = n;
+    PipelinedParallelHeap<U64> q(r);
+    q.build(hold_initial(init));
+
+    Timer tw;
+    persist::write_checkpoint(dir.path, 1, persist::to_image(q),
+                              FsyncPolicy::kNever);
+    const double write_ms = tw.seconds() * 1e3;
+    const auto ckpts = persist::list_checkpoints(dir.path);
+    const double mb = ckpts.empty()
+                          ? 0.0
+                          : static_cast<double>(std::filesystem::file_size(
+                                ckpts[0].second)) /
+                                (1024.0 * 1024.0);
+
+    Timer tl;
+    persist::CheckpointImage<U64> img;
+    std::uint64_t seq = 0;
+    (void)persist::load_checkpoint(ckpts[0].second, img, seq);
+    PipelinedParallelHeap<U64> q2(r);
+    persist::from_image(q2, img);
+    const double load_ms = tl.seconds() * 1e3;
+
+    row("ckpt_write,%zu,%.2f,%.2f", n, write_ms, mb);
+    row("ckpt_load,%zu,%.2f,%.2f", n, load_ms, mb);
+    json_metric("ckpt_write_ms_n" + std::to_string(n), write_ms);
+    json_metric("ckpt_load_ms_n" + std::to_string(n), load_ms);
+  }
+
+  // --- restart latency: checkpoint-dominated vs replay-dominated ----------
+  columns("recovery,ops_in_wal,millis,replayed");
+  for (const std::size_t interval : {std::size_t{0}, std::size_t{8}}) {
+    TempDir dir;
+    DurableOptions d;
+    d.dir = dir.path;
+    d.fsync = FsyncPolicy::kNever;
+    d.checkpoint_interval = interval;
+    d.checkpoint_on_open = false;
+    {
+      DH q(PipelinedParallelHeap<U64>(r), d);
+      HoldConfig wc;
+      wc.n = 1 << 14;
+      wc.ops = 1 << 14;
+      q.build(hold_initial(wc));
+      batch_hold(q, wc, r);
+    }
+    Timer t;
+    DH q(PipelinedParallelHeap<U64>(r), d);
+    const double ms = t.seconds() * 1e3;
+    const char* kind = interval == 0 ? "wal_replay" : "from_checkpoint";
+    row("%s,%llu,%.2f,%llu", kind,
+        static_cast<unsigned long long>(q.op_seq()), ms,
+        static_cast<unsigned long long>(q.recovery_info().replayed));
+    json_metric(std::string("recover_ms_") + kind, ms);
+  }
+
+  note("one run per point; rerun with scripts/collect_bench.sh for medians");
+  return 0;
+}

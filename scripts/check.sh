@@ -36,6 +36,9 @@ done
 echo "== release: fault matrix (every fail-point site fires and recovers) =="
 build-release/tools/ph_stress --failpoint
 
+echo "== release: crash-recovery sweep (kill -9 at every persist site) =="
+build-release/tools/ph_crash --seeds 8
+
 echo "== tsan: configure + build =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"

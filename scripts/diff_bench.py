@@ -34,6 +34,29 @@ def load(path):
     return doc
 
 
+def load_baseline(path):
+    """Baseline-side load degrades instead of failing: a PR that introduces a
+    new schema, new binaries, or new counters must not be failed by the OLD
+    file's shape. Returns None (diff skipped, exit 0) when the baseline is
+    missing, unparsable, or schema-less; the NEW side stays strict."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        print(f"diff_bench: WARNING: baseline {path}: {e.strerror or e}; "
+              "skipping diff (report-only)")
+        return None
+    except json.JSONDecodeError as e:
+        print(f"diff_bench: WARNING: baseline {path}: unparsable JSON ({e}); "
+              "skipping diff (report-only)")
+        return None
+    if "benches" not in doc:
+        print(f"diff_bench: WARNING: baseline {path}: no 'benches' key "
+              "(pre-trajectory schema); skipping diff (report-only)")
+        return None
+    return doc
+
+
 def latest_trajectory(root, exclude):
     """Highest-numbered BENCH_pr<N>.json under root, excluding `exclude`."""
     best, best_n = None, -1
@@ -80,7 +103,10 @@ def main():
     elif args.baseline is None:
         ap.error("baseline file required (or pass --baseline-latest)")
 
-    old_doc, new_doc = load(args.baseline), load(args.new)
+    new_doc = load(args.new)
+    old_doc = load_baseline(args.baseline)
+    if old_doc is None:
+        return 0
     print(f"diff_bench: pr{old_doc.get('pr', '?')} -> pr{new_doc.get('pr', '?')} "
           f"({args.baseline} -> {args.new})")
 

@@ -60,10 +60,15 @@ struct EngineReport {
   std::uint64_t watchdog_stalls = 0;  ///< stalled-channel observations
 };
 
-template <typename T, typename Compare = std::less<T>>
+/// HeapT is any heap exposing the pipeline-driver surface
+/// (root_work_public / advance / advance_with / merge_ctx / ServiceCtx) —
+/// the pipelined heap by default, or persist::DurableHeap<...> for a
+/// crash-recoverable engine (same call sites, substituted type).
+template <typename T, typename Compare = std::less<T>,
+          typename HeapT = PipelinedParallelHeap<T, Compare>>
 class ParallelHeapEngine {
  public:
-  using Heap = PipelinedParallelHeap<T, Compare>;
+  using Heap = HeapT;
   /// think(tid, mine, batch, out): process `mine` — this worker's
   /// round-robin share of the cycle's deleted batch — appending any newly
   /// produced items to `out`. `batch` is the whole cycle's deleted batch in
@@ -73,7 +78,14 @@ class ParallelHeapEngine {
                                      std::vector<T>&)>;
 
   explicit ParallelHeapEngine(EngineConfig cfg, Compare cmp = Compare())
-      : cfg_(cfg), heap_(cfg.node_capacity, std::move(cmp)) {
+      : ParallelHeapEngine(cfg, Heap(cfg.node_capacity, std::move(cmp))) {}
+
+  /// Adopts a pre-built heap (a DurableHeap wired to its directory, a
+  /// differently-configured pipelined heap). The heap's node capacity must
+  /// match cfg.node_capacity.
+  ParallelHeapEngine(EngineConfig cfg, Heap heap)
+      : cfg_(cfg), heap_(std::move(heap)) {
+    PH_ASSERT(heap_.node_capacity() == cfg_.node_capacity);
     if (cfg_.batch == 0 || cfg_.batch > cfg_.node_capacity) {
       cfg_.batch = cfg_.node_capacity;
     }

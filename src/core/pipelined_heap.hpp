@@ -83,6 +83,8 @@ class PipelinedParallelHeap {
   };
 
  public:
+  using value_type = T;
+
   /// Per-worker service context: scratch buffers, locally spawned processes
   /// and stat deltas, merged back serially after a parallel half-step.
   class ServiceCtx {

@@ -50,6 +50,7 @@
 
 #include "core/pipelined_heap.hpp"
 #include "robustness/failpoint.hpp"
+#include "robustness/watchdog.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -144,6 +145,8 @@ template <typename T, typename Compare = std::less<T>>
 class ShardedHeap {
  public:
   using Shard = PipelinedParallelHeap<T, Compare>;
+  using value_type = T;
+  using ServiceCtx = typename Shard::ServiceCtx;
 
   struct Config {
     std::size_t shards = 1;
@@ -205,6 +208,77 @@ class ShardedHeap {
   std::size_t active_shards() const noexcept { return dense_.size(); }
   bool shard_active(std::size_t i) const noexcept { return active_[i] != 0; }
 
+  /// Cycle-boundary snapshot of the whole sharded structure: the partition
+  /// map, the active mask, and every shard's contents. The rolling insert
+  /// sample is deliberately NOT captured — it only steers *future*
+  /// rebalances, and the delete-min stream is exact under any partition map
+  /// (the tournament assumes nothing about range disjointness), so dropping
+  /// it cannot change observable output. Same O(n) contract as the
+  /// pipelined heap's Snapshot; valid at any cycle boundary.
+  struct Snapshot {
+    std::vector<T> splits;
+    std::vector<std::uint8_t> active;
+    bool seeded = false;
+    std::vector<std::vector<T>> shard_items;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.splits = part_.splits();
+    s.active = active_;
+    s.seeded = seeded_;
+    s.shard_items.reserve(shards_.size());
+    for (const Shard& sh : shards_) s.shard_items.push_back(sh.snapshot().items);
+    return s;
+  }
+
+  /// Rebuilds the structure from a snapshot: partition map, active mask,
+  /// and per-shard contents all return to their captured values (the
+  /// rolling sample restarts empty — see snapshot()).
+  void restore(const Snapshot& s) {
+    PH_ASSERT(s.shard_items.size() == shards_.size());
+    PH_ASSERT(s.active.size() == shards_.size());
+    active_ = s.active;
+    dense_.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (active_[i] != 0) dense_.push_back(i);
+    }
+    PH_ASSERT(!dense_.empty());
+    part_ = KeyRangePartitioner<T, Compare>(dense_.size(), cmp_);
+    if (s.splits.size() + 1 == dense_.size()) {
+      part_.set_splits(s.splits);
+      seeded_ = s.seeded;
+    } else {
+      seeded_ = false;  // pre-seed snapshot (or width mismatch): reseed lazily
+    }
+    sample_.clear();
+    sample_cursor_ = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i].build(s.shard_items[i]);
+    }
+  }
+
+  /// Wires watchdog stall verdicts into shard retirement: registers one
+  /// heartbeat channel per shard (beaten at each shard-cycle completion) and
+  /// quarantines any ACTIVE shard whose channel has been stalled for
+  /// `polls_to_quarantine` consecutive polls — the same drain/redistribute
+  /// retirement as the deadline path, applied at the next cycle boundary
+  /// (the quiescent point where the shard's state is consistent). The last
+  /// active shard is never retired. Call before the first cycle.
+  void attach_watchdog(robustness::PhaseWatchdog& wd,
+                       std::uint32_t polls_to_quarantine = 1) {
+    wd_ = &wd;
+    wd_polls_ = polls_to_quarantine == 0 ? 1 : polls_to_quarantine;
+    wd_ch_.clear();
+    wd_ch_.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      wd_ch_.push_back(wd.add_channel("shard-" + std::to_string(s)));
+    }
+  }
+
+  /// The watchdog channel id serving shard `s` (tests beat/poke these).
+  std::size_t watchdog_channel(std::size_t s) const noexcept { return wd_ch_[s]; }
+
   /// Forces an immediate partition-map re-estimation from the rolling
   /// sample (testing/tuning; the interval path calls this too).
   void rebalance_now() {
@@ -239,6 +313,26 @@ class ShardedHeap {
     PH_ASSERT_MSG(k <= r_, "cycle(): k must not exceed the node capacity r");
     ++stats_.cycles;
     recovery_.clear();
+
+    // Phase 0: watchdog verdicts. A shard whose heartbeat channel has been
+    // stalled for wd_polls_ consecutive polls is retired here, at the cycle
+    // boundary — its state is quiescent and valid, so it takes the same
+    // drain/redistribute path as a deadline miss (extra_ empty) and its
+    // items fold into THIS cycle's tournament.
+    if (wd_ != nullptr) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (active_[s] == 0 || active_shards() <= 1) continue;
+        if (wd_->consecutive_stalls(wd_ch_[s]) >= wd_polls_) {
+          extra_.clear();
+          // The shard's last pulled prefix was already put back (phase 4 of
+          // the previous cycle), so its survivors are inside the shard and
+          // will drain into the recovery run — the stale pulled_ copy must
+          // not re-enter the tournament.
+          pulled_[s].clear();
+          quarantine_shard(s);
+        }
+      }
+    }
 
     // Phase 1: route. The first nonempty batch seeds the partition map.
     {
@@ -275,6 +369,7 @@ class ShardedHeap {
       const bool timed = cfg_.cycle_deadline_ns > 0;
       if (!guard && !timed) {
         shards_[s].cycle(route_buf_[s], k, pulled_[s]);
+        if (wd_ != nullptr) wd_->beat(wd_ch_[s]);
         continue;
       }
       typename Shard::Snapshot snap;
@@ -304,7 +399,9 @@ class ShardedHeap {
         extra_.swap(pulled_[s]);  // already sorted
         pulled_[s].clear();
         quarantine_shard(s);
+        continue;
       }
+      if (wd_ != nullptr) wd_->beat(wd_ch_[s]);
     }
 
     // Phase 3: K-way tournament over the sorted prefixes (plus the recovery
@@ -509,6 +606,11 @@ class ShardedHeap {
   ShardedStats stats_;
   std::vector<T> sample_;
   std::size_t sample_cursor_ = 0;
+
+  // Watchdog-driven retirement (attach_watchdog): one channel per shard.
+  robustness::PhaseWatchdog* wd_ = nullptr;
+  std::vector<std::size_t> wd_ch_;
+  std::uint32_t wd_polls_ = 1;
 
   // Scratch (reused; allocation-free after warm-up).
   std::vector<std::vector<T>> route_buf_, pulled_, redist_;

@@ -1,0 +1,364 @@
+// On-disk format primitives shared by the durability subsystem (checkpoint
+// files and write-ahead log segments): CRC-32 framing, little-endian scalar
+// encoding, fsync policies, and the POSIX file helpers that give the layer
+// precise control over WHEN bytes reach the kernel and WHEN they are forced
+// to stable storage.
+//
+// Framing. Every logical unit on disk is a *frame*:
+//
+//     [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// A reader walks frames front to back and stops at the first frame whose
+// length runs past the file or whose CRC does not match — which is exactly
+// how a torn tail (a crash mid-append) presents. Torn-tail detection is
+// therefore not a special case but the ordinary termination condition of
+// FrameCursor::next(). A frame that fails its CRC mid-file is reported the
+// same way; the recovery layer decides whether a stop is a benign tail or a
+// hole (recovery.hpp).
+//
+// Atomic publication. Checkpoint files are written to a temporary name,
+// fsync'd, and rename(2)'d into place, then the directory is fsync'd so the
+// rename itself is durable. A reader can never observe a half-written
+// checkpoint under its final name; a crash mid-write leaves only a stale
+// tmp file that the next recovery sweeps away.
+//
+// Item encoding. Serialized item types must be trivially copyable (enforced
+// by static_assert at the call sites); bytes are written in host order and
+// the item size is recorded in every file header, so a file from a
+// different-width or different-endian host is *rejected*, never
+// misinterpreted. This is a deliberate v1 simplification — the library's
+// keys are u64 / POD event records — and is called out in DESIGN.md §10.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ph::persist {
+
+/// When the durability layer forces bytes to stable storage.
+///   kNever        no fsync anywhere: contents reach disk when the OS
+///                 flushes; a crash can lose an arbitrary recent suffix
+///                 (and the atomic-rename guarantee degrades to "atomic in
+///                 the file system's view, durable eventually").
+///   kOnCheckpoint fsync only when publishing a checkpoint; WAL appends are
+///                 buffered by the kernel. Durable state = last checkpoint
+///                 plus whatever WAL suffix happened to reach disk.
+///   kEveryRecord  fsync after every WAL append (and at checkpoints): a
+///                 record that was acknowledged is never lost.
+enum class FsyncPolicy : std::uint8_t { kNever = 0, kOnCheckpoint, kEveryRecord };
+
+inline const char* fsync_policy_name(FsyncPolicy p) noexcept {
+  switch (p) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kOnCheckpoint: return "checkpoint";
+    case FsyncPolicy::kEveryRecord: return "every";
+  }
+  return "unknown";
+}
+
+inline bool fsync_policy_from_name(std::string_view name, FsyncPolicy& out) noexcept {
+  for (FsyncPolicy p : {FsyncPolicy::kNever, FsyncPolicy::kOnCheckpoint,
+                        FsyncPolicy::kEveryRecord}) {
+    if (name == fsync_policy_name(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Durability-layer I/O or state error (missing coverage, unwritable file).
+/// Corruption that recovery can *route around* (a bad checkpoint frame with
+/// an older checkpoint to fall back to) is handled silently-with-accounting;
+/// this exception is for the cases where proceeding would fabricate state.
+class PersistError : public std::runtime_error {
+ public:
+  explicit PersistError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// ---------------------------------------------------------------- CRC-32
+
+namespace fmt_detail {
+inline const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace fmt_detail
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of a byte span.
+inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  const auto& t = fmt_detail::crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : bytes) c = t[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+// ------------------------------------------------- scalar / raw encoding
+
+inline void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_raw(std::vector<std::uint8_t>& buf, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  buf.insert(buf.end(), b, b + n);
+}
+
+/// Bounds-checked decoder over a payload span; every get_* returns false at
+/// exhaustion instead of reading past the end, so a malformed payload is a
+/// clean decode failure, not UB.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> payload) noexcept
+      : p_(payload.data()), n_(payload.size()) {}
+
+  std::size_t remaining() const noexcept { return n_ - off_; }
+
+  bool get_u32(std::uint32_t& v) noexcept {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p_[off_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    off_ += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) noexcept {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[off_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    off_ += 8;
+    return true;
+  }
+  bool get_raw(void* dst, std::size_t n) noexcept {
+    if (remaining() < n) return false;
+    std::memcpy(dst, p_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+// ----------------------------------------------------------------- frames
+
+/// Upper bound on a single frame's payload: rejects absurd lengths from a
+/// corrupt length field before any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Appends one frame (length + CRC + payload) to a byte buffer.
+inline void append_frame(std::vector<std::uint8_t>& file,
+                         std::span<const std::uint8_t> payload) {
+  PH_ASSERT(payload.size() <= kMaxFramePayload);
+  put_u32(file, static_cast<std::uint32_t>(payload.size()));
+  put_u32(file, crc32(payload));
+  put_raw(file, payload.data(), payload.size());
+}
+
+/// Walks frames over an in-memory file image. next() yields payload views
+/// until the bytes run out or a frame fails validation; valid_end() is the
+/// byte offset just past the last frame that validated — the truncation
+/// point for a torn tail.
+class FrameCursor {
+ public:
+  explicit FrameCursor(std::span<const std::uint8_t> file) noexcept : file_(file) {}
+
+  bool next(std::span<const std::uint8_t>& payload) noexcept {
+    if (file_.size() - off_ < 8) return false;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    PayloadReader hdr(file_.subspan(off_, 8));
+    hdr.get_u32(len);
+    hdr.get_u32(crc);
+    if (len > kMaxFramePayload || file_.size() - off_ - 8 < len) return false;
+    const auto body = file_.subspan(off_ + 8, len);
+    if (crc32(body) != crc) return false;
+    payload = body;
+    off_ += 8 + len;
+    return true;
+  }
+
+  /// Offset just past the last frame that validated.
+  std::size_t valid_end() const noexcept { return off_; }
+  /// True iff bytes remain past the last valid frame (torn or corrupt tail).
+  bool has_garbage_tail() const noexcept { return off_ < file_.size(); }
+
+ private:
+  std::span<const std::uint8_t> file_;
+  std::size_t off_ = 0;
+};
+
+// -------------------------------------------------------------- file I/O
+
+/// Thin POSIX write handle: explicit control over write boundaries (a crash
+/// site between two write(2) calls leaves a genuinely torn frame) and over
+/// fsync. Not copyable; movable so owners can live in movable wrappers.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  FileWriter(FileWriter&& o) noexcept : fd_(o.fd_), off_(o.off_) { o.fd_ = -1; }
+  FileWriter& operator=(FileWriter&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = o.fd_;
+      off_ = o.off_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  ~FileWriter() { close(); }
+
+  /// Opens (creating or truncating) for writing. Throws PersistError.
+  void open_truncate(const std::string& path) {
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      throw PersistError("persist: cannot open " + path + ": " +
+                         std::strerror(errno));
+    }
+    off_ = 0;
+  }
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  std::uint64_t offset() const noexcept { return off_; }
+
+  /// Writes all of `n` bytes (retrying short writes). Throws PersistError.
+  void write_all(const void* p, std::size_t n) {
+    PH_ASSERT(fd_ >= 0);
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    while (n > 0) {
+      const ::ssize_t w = ::write(fd_, b, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw PersistError(std::string("persist: write failed: ") +
+                           std::strerror(errno));
+      }
+      b += w;
+      n -= static_cast<std::size_t>(w);
+      off_ += static_cast<std::uint64_t>(w);
+    }
+  }
+
+  void sync() {
+    PH_ASSERT(fd_ >= 0);
+    if (::fsync(fd_) != 0) {
+      throw PersistError(std::string("persist: fsync failed: ") +
+                         std::strerror(errno));
+    }
+  }
+
+  /// Truncates back to `len` (un-publishing a torn or rolled-back suffix)
+  /// and repositions the append offset there.
+  void truncate_to(std::uint64_t len) {
+    PH_ASSERT(fd_ >= 0);
+    if (::ftruncate(fd_, static_cast<::off_t>(len)) != 0) {
+      throw PersistError(std::string("persist: ftruncate failed: ") +
+                         std::strerror(errno));
+    }
+    if (::lseek(fd_, static_cast<::off_t>(len), SEEK_SET) < 0) {
+      throw PersistError(std::string("persist: lseek failed: ") +
+                         std::strerror(errno));
+    }
+    off_ = len;
+  }
+
+  void close() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t off_ = 0;
+};
+
+/// Reads a whole file into memory. Returns false (empty out) if the file
+/// does not exist or cannot be read — recovery treats that as "no data",
+/// never as an error.
+inline bool read_entire_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  out.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ::ssize_t r = ::read(fd, out.data() + got, out.size() - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      out.clear();
+      return false;
+    }
+    if (r == 0) break;  // shrank under us; treat what we have as the file
+    got += static_cast<std::size_t>(r);
+  }
+  out.resize(got);
+  ::close(fd);
+  return true;
+}
+
+/// fsync on a directory, making a completed rename/unlink durable.
+inline void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best-effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Creates a fresh uniquely-named temp directory (under TMPDIR or /tmp) for
+/// tests, the stress registry, and drills. Caller removes it.
+inline std::string make_temp_dir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr && base[0] != '\0' ? std::string(base)
+                                                         : std::string("/tmp")) +
+                     "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw PersistError(std::string("persist: mkdtemp failed: ") +
+                       std::strerror(errno));
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace ph::persist

@@ -63,6 +63,10 @@ enum class FailSite : std::uint8_t {
   kThinkThrow,      ///< engine think-callback throws on a worker
   kWorkerStall,     ///< bounded injected delay in a ThreadTeam worker
   kShardCycle,      ///< shard trips at its cycle boundary (quarantine driver)
+  kCkptWrite,       ///< crash/fault between checkpoint frames (persist layer)
+  kWalAppend,       ///< crash/fault mid-append: tears a WAL record on disk
+  kWalFsync,        ///< crash/fault around the WAL fsync (pre/post durability)
+  kRecoverReplay,   ///< crash/fault between replayed WAL records (double crash)
   kCount
 };
 inline constexpr std::size_t kNumFailSites = static_cast<std::size_t>(FailSite::kCount);
@@ -77,6 +81,10 @@ inline const char* fail_site_name(FailSite s) noexcept {
     case FailSite::kThinkThrow: return "think_throw";
     case FailSite::kWorkerStall: return "worker_stall";
     case FailSite::kShardCycle: return "shard_cycle";
+    case FailSite::kCkptWrite: return "ckpt_write";
+    case FailSite::kWalAppend: return "wal_append";
+    case FailSite::kWalFsync: return "wal_fsync";
+    case FailSite::kRecoverReplay: return "recover_replay";
     case FailSite::kCount: break;
   }
   return "unknown";
@@ -241,6 +249,30 @@ inline void fire_oom(FailSite site) {
 inline void fire_fault(FailSite site) {
   if (fire(site)) throw InjectedFault(site);
 }
+
+namespace fp_detail {
+using CrashHook = void (*)(FailSite);
+inline std::atomic<CrashHook> g_crash_hook{nullptr};
+}  // namespace fp_detail
+
+/// Installs the process-kill hook used by fire_crash(). The ph_crash drill's
+/// child installs `[](FailSite) { std::_Exit(...); }` so a firing crash site
+/// dies with kill -9 semantics — no destructors, no atexit, torn on-disk
+/// state preserved exactly as written. nullptr restores the default.
+inline void set_crash_hook(void (*hook)(FailSite)) noexcept {
+  fp_detail::g_crash_hook.store(hook, std::memory_order_release);
+}
+
+/// A *crash* site: with a hook installed the process is killed on the spot
+/// (the hook must not return); without one it degrades to fire_fault() so
+/// the in-process fault matrix exercises the same sites exception-shaped.
+inline void fire_crash(FailSite site) {
+  if (!fire(site)) return;
+  if (auto hook = fp_detail::g_crash_hook.load(std::memory_order_acquire)) {
+    hook(site);
+  }
+  throw InjectedFault(site);
+}
 inline void maybe_stall(FailSite site) {
   if (fire(site)) {
     const std::uint32_t us = fp_detail::sites()[static_cast<std::size_t>(site)]
@@ -278,6 +310,8 @@ inline bool any_armed() noexcept { return false; }
 inline bool fire(FailSite) noexcept { return false; }
 inline void fire_oom(FailSite) noexcept {}
 inline void fire_fault(FailSite) noexcept {}
+inline void set_crash_hook(void (*)(FailSite)) noexcept {}
+inline void fire_crash(FailSite) noexcept {}
 inline void maybe_stall(FailSite) noexcept {}
 inline void note_recovery(FailSite) noexcept {}
 inline SiteStats stats(FailSite) noexcept { return {}; }

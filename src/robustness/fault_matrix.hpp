@@ -25,6 +25,23 @@
 //   shard_cycle
 //       graceful degradation: a quarantined shard's items fold into the
 //       tournament and survivors take over its range — stream stays EXACT.
+//   ckpt_write
+//       non-fatal checkpoints: an injected failure mid-checkpoint is
+//       swallowed by DurableHeap (the .tmp never publishes), the heap keeps
+//       serving on the previous checkpoint + live WAL, and the stream stays
+//       EXACT.
+//   wal_append / wal_fsync
+//       strong guarantee at the log: a failed append truncates itself back
+//       out of the segment before the op is acknowledged; a caller retry
+//       then succeeds and the stream stays EXACT.
+//   recover_replay
+//       double crash: recovery that dies mid-replay (injected) leaves the
+//       directory exactly as recoverable — a second recovery reaches the
+//       identical state, verified by draining against a fault-free oracle.
+//
+// (In-process, these crash sites throw InjectedFault — the exception shape
+// every drill can roll back from. The ph_crash tool additionally drives the
+// same sites with a real process kill; see tools/ph_crash.cpp.)
 //
 // Everything is derived from one seed; a failing drill is reproducible from
 // (site, seed) alone. run_fault_matrix is what `ph_stress --failpoint` and
@@ -41,6 +58,7 @@
 #include "core/engine.hpp"
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
+#include "persist/recovery.hpp"
 #include "robustness/failpoint.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
@@ -325,13 +343,181 @@ inline FaultSiteResult think_throw_drill(const FaultMatrixConfig& cfg) {
   return finish(FailSite::kThinkThrow, ok, std::move(detail));
 }
 
+/// Scoped temp directory for the persist drills.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const char* prefix) : path(persist::make_temp_dir(prefix)) {}
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Non-fatal checkpoint drill: injected failures mid-checkpoint-write must
+/// be swallowed by the auto-checkpoint path (counted as recoveries) while
+/// the stream stays exact against the oracle.
+inline FaultSiteResult ckpt_write_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kCkptWrite);
+  const TempDir dir("ph-fm-ckpt");
+  persist::DurableOptions opt;
+  opt.dir = dir.path;
+  opt.fsync = persist::FsyncPolicy::kNever;  // drill targets the write path
+  opt.checkpoint_interval = 4;
+  persist::DurableHeap<PipelinedParallelHeap<U64>> q(
+      PipelinedParallelHeap<U64>(cfg.r), opt);
+  arm(FailSite::kCkptWrite,
+      FireSpec{/*nth=*/5, /*period=*/11, /*max_fires=*/16, /*stall_us=*/0});
+  testing::DiffOptions dopt;
+  dopt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, dopt);
+  const bool ok = !f.failed;
+  return finish(FailSite::kCkptWrite, ok,
+                ok ? "" : "stream diverged across failed checkpoints: " + f.message);
+}
+
+/// Retry wrapper for the WAL-site drills: an injected append/fsync failure
+/// un-logs itself (WalWriter truncates back) before surfacing, so a plain
+/// retry — no snapshot — must succeed with the op applied exactly once.
+class RetryingDurableAdapter {
+ public:
+  RetryingDurableAdapter(std::size_t r, const persist::DurableOptions& opt,
+                         FailSite site)
+      : q_(PipelinedParallelHeap<U64>(r), opt), site_(site) {}
+
+  std::size_t cycle(std::span<const U64> fresh, std::size_t k,
+                    std::vector<U64>& out) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t entry = out.size();
+      try {
+        return q_.cycle(fresh, k, out);
+      } catch (const InjectedFailure&) {
+        out.resize(entry);
+        note_recovery(site_);
+      }
+    }
+    return 0;  // surfaced as a stream mismatch by the harness
+  }
+
+  bool check_invariants(std::string* why) { return q_.check_invariants(why); }
+
+ private:
+  persist::DurableHeap<PipelinedParallelHeap<U64>> q_;
+  FailSite site_;
+};
+
+inline FaultSiteResult wal_site_drill(const FaultMatrixConfig& cfg, FailSite site,
+                                      FireSpec spec) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, site);
+  const TempDir dir("ph-fm-wal");
+  persist::DurableOptions opt;
+  opt.dir = dir.path;
+  // kEveryRecord so the kWalFsync site evaluates; the kWalAppend drill
+  // shares the policy — its firing schedule targets the append site.
+  opt.fsync = persist::FsyncPolicy::kEveryRecord;
+  opt.checkpoint_interval = 32;
+  RetryingDurableAdapter q(cfg.r, opt, site);
+  arm(site, spec);
+  testing::DiffOptions dopt;
+  dopt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, dopt);
+  const bool ok = !f.failed;
+  return finish(site, ok,
+                ok ? "" : "stream diverged after WAL-failure retries: " + f.message);
+}
+
+/// Double-crash drill: recovery interrupted mid-replay (injected throw from
+/// the kRecoverReplay site) must leave the directory exactly as recoverable;
+/// the follow-up recovery's drained stream must match a fault-free oracle.
+inline FaultSiteResult recover_replay_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const TempDir dir("ph-fm-recover");
+  using DH = persist::DurableHeap<PipelinedParallelHeap<U64>>;
+  persist::DurableOptions opt;
+  opt.dir = dir.path;
+  opt.fsync = persist::FsyncPolicy::kNever;
+  opt.checkpoint_interval = 0;  // keep every op in the WAL tail
+
+  // Phase 1: run a deterministic op sequence, mirrored into an oracle.
+  // (Local splitmix: fp_detail's helper only exists in failpoint builds.)
+  const auto splitmix = [](std::uint64_t& st) {
+    std::uint64_t z = (st += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  testing::SortedOracle oracle;
+  std::uint64_t s = cfg.seed ^ 0xabcdef12345ull;
+  std::vector<U64> fresh, sink;
+  const std::size_t n_ops = 48;
+  {
+    DH q(PipelinedParallelHeap<U64>(cfg.r), opt);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      fresh.clear();
+      for (std::size_t j = 0; j < cfg.r / 2 + 1; ++j) {
+        fresh.push_back(splitmix(s) % cfg.key_bound);
+      }
+      const std::size_t k = i % 3 == 0 ? cfg.r / 2 : 0;
+      sink.clear();
+      q.cycle(fresh, k, sink);
+      std::vector<U64> osink;
+      oracle.cycle(fresh, k, osink);
+      if (sink != osink) {
+        return finish(FailSite::kRecoverReplay, false,
+                      "pre-crash stream diverged from oracle");
+      }
+    }
+  }  // clean close; the WAL tail still carries all n_ops records
+
+  // Phase 2: recovery dies mid-replay (the "second crash").
+  arm(FailSite::kRecoverReplay,
+      FireSpec{/*nth=*/n_ops / 2, /*period=*/0, /*max_fires=*/1, /*stall_us=*/0});
+  bool interrupted = false;
+  try {
+    DH q(PipelinedParallelHeap<U64>(cfg.r), opt);
+  } catch (const InjectedFailure&) {
+    interrupted = true;
+  }
+  if (!interrupted) {
+    return finish(FailSite::kRecoverReplay, false,
+                  "injected mid-replay failure did not surface");
+  }
+
+  // Phase 3: recover again (site exhausted its max_fires) and drain both
+  // sides — the streams must be identical.
+  {
+    DH q(PipelinedParallelHeap<U64>(cfg.r), opt);
+    for (int guard = 0; guard < 1 << 15; ++guard) {
+      sink.clear();
+      std::vector<U64> osink;
+      const std::size_t nq = q.cycle({}, cfg.r, sink);
+      const std::size_t no = oracle.cycle({}, cfg.r, osink);
+      if (sink != osink) {
+        return finish(FailSite::kRecoverReplay, false,
+                      "post-double-crash drain diverged from oracle");
+      }
+      if (nq == 0 && no == 0) break;
+    }
+    std::string why;
+    if (!q.check_invariants(&why)) {
+      return finish(FailSite::kRecoverReplay, false,
+                    "invariants failed after double-crash recovery: " + why);
+    }
+  }
+  note_recovery(FailSite::kRecoverReplay);
+  return finish(FailSite::kRecoverReplay, true, "");
+}
+
 }  // namespace fm_detail
 
 /// Runs every site's drill; see the file comment for the per-site contracts.
 inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
                                           std::ostream* log = nullptr) {
   FaultMatrixReport rep;
-  static_assert(kNumFailSites == 8, "new FailSite needs a fault-matrix drill");
+  static_assert(kNumFailSites == 12, "new FailSite needs a fault-matrix drill");
 
   rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
       cfg, FailSite::kRootAlloc,
@@ -350,6 +536,14 @@ inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
   rep.rows.push_back(fm_detail::think_throw_drill(cfg));
   rep.rows.push_back(fm_detail::worker_stall_drill(cfg));
   rep.rows.push_back(fm_detail::shard_cycle_drill(cfg));
+  rep.rows.push_back(fm_detail::ckpt_write_drill(cfg));
+  rep.rows.push_back(fm_detail::wal_site_drill(
+      cfg, FailSite::kWalAppend,
+      FireSpec{/*nth=*/4, /*period=*/19, /*max_fires=*/12, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::wal_site_drill(
+      cfg, FailSite::kWalFsync,
+      FireSpec{/*nth=*/6, /*period=*/29, /*max_fires=*/12, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::recover_replay_drill(cfg));
 
   if (log) {
     for (const FaultSiteResult& r : rep.rows) {

@@ -101,24 +101,25 @@ class PhaseWatchdog {
       const bool stalled = t >= beat_t && t - beat_t > cfg_.stall_timeout_ns;
       if (!stalled) {
         // Recovered: close the episode so the next stall dumps again.
-        ch.consecutive = 0;
+        ch.consecutive.store(0, std::memory_order_relaxed);
         ch.episode_dumped = false;
         continue;
       }
       ++res.stalled;
-      ++ch.consecutive;
+      const std::uint32_t consec =
+          ch.consecutive.fetch_add(1, std::memory_order_relaxed) + 1;
       stalls_.fetch_add(1, std::memory_order_relaxed);
       telemetry::count(telemetry::Counter::kWatchdogStalls);
-      if (ch.consecutive >= cfg_.dump_after_polls && !ch.episode_dumped) {
+      if (consec >= cfg_.dump_after_polls && !ch.episode_dumped) {
         ch.episode_dumped = true;
         res.dumped = true;
         dump_report(t);
       }
-      if (cfg_.abort_on_stall && ch.consecutive >= cfg_.abort_after_polls) {
+      if (cfg_.abort_on_stall && consec >= cfg_.abort_after_polls) {
         std::fprintf(stderr,
                      "ph: watchdog: channel '%s' stalled for %u consecutive polls"
                      " — aborting; trace rings follow\n",
-                     ch.name.c_str(), ch.consecutive);
+                     ch.name.c_str(), consec);
         telemetry::write_chrome_trace(std::cerr);
         std::cerr << std::endl;
         std::abort();
@@ -161,12 +162,21 @@ class PhaseWatchdog {
     return stalls_.load(std::memory_order_relaxed);
   }
 
+  /// Consecutive stalled polls currently charged to `ch` (0 = healthy as of
+  /// the last poll). This is the *verdict* consumers read: ShardedHeap's
+  /// watchdog-driven quarantine retires a shard once its channel's verdict
+  /// reaches a configured threshold. Safe against a concurrent poller.
+  std::uint32_t consecutive_stalls(std::size_t ch) const noexcept {
+    return channels_[ch]->consecutive.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Channel {
     std::string name;
     std::atomic<std::uint64_t> last_beat{0};
-    // Poller-private ladder state (single poller — no atomics needed).
-    std::uint32_t consecutive = 0;
+    // Ladder state: written only by the single poller, but readable from
+    // verdict consumers on other threads — hence atomic.
+    std::atomic<std::uint32_t> consecutive{0};
     bool episode_dumped = false;
   };
 
@@ -185,7 +195,7 @@ class PhaseWatchdog {
       const std::uint64_t age = t >= beat_t ? t - beat_t : 0;
       std::fprintf(stderr, "ph:   %-24s last beat %8.3f ms ago  (%u stalled polls)\n",
                    chp->name.c_str(), static_cast<double>(age) / 1e6,
-                   chp->consecutive);
+                   chp->consecutive.load(std::memory_order_relaxed));
     }
     if (telemetry::kEnabled) {
       const telemetry::MetricsSnapshot snap = telemetry::Registry::instance().collect();

@@ -49,6 +49,9 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kMaintService: return "maint_service";
     case Phase::kShardRoute: return "shard_route";
     case Phase::kShardMerge: return "shard_merge";
+    case Phase::kCkptWrite: return "ckpt_write";
+    case Phase::kWalAppend: return "wal_append";
+    case Phase::kRecoverReplay: return "recover_replay";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -71,6 +74,13 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kWatchdogStalls: return "watchdog_stalls";
     case Counter::kShardQuarantines: return "shard_quarantines";
     case Counter::kThinkFaults: return "think_faults";
+    case Counter::kCkptWrites: return "ckpt_writes";
+    case Counter::kCkptBytes: return "ckpt_bytes";
+    case Counter::kWalAppends: return "wal_appends";
+    case Counter::kWalBytes: return "wal_bytes";
+    case Counter::kWalFsyncs: return "wal_fsyncs";
+    case Counter::kWalReplayed: return "wal_replayed";
+    case Counter::kRecoveries: return "recoveries";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -41,6 +41,9 @@ enum class Phase : unsigned {
   kMaintService,    ///< one maintenance worker's share of a half-step
   kShardRoute,      ///< sharded front end splitting a batch by key range
   kShardMerge,      ///< K-way tournament over per-shard prefixes
+  kCkptWrite,       ///< serializing + publishing one durable checkpoint
+  kWalAppend,       ///< appending (and per-policy fsyncing) one WAL record
+  kRecoverReplay,   ///< full recovery pass: load checkpoint + replay WAL tail
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -63,6 +66,13 @@ enum class Counter : unsigned {
   kWatchdogStalls,   ///< watchdog polls that found a stalled channel
   kShardQuarantines, ///< shards retired by fault or deadline
   kThinkFaults,      ///< engine think-callbacks that threw (lane recovered)
+  kCkptWrites,       ///< checkpoints published (atomic rename completed)
+  kCkptBytes,        ///< bytes written into published checkpoint files
+  kWalAppends,       ///< WAL records appended
+  kWalBytes,         ///< bytes appended to WAL segments (frames incl. headers)
+  kWalFsyncs,        ///< fsync(2) calls issued by the WAL writer
+  kWalReplayed,      ///< WAL records applied during recovery
+  kRecoveries,       ///< completed recovery passes (DurableHeap opens)
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

@@ -34,6 +34,9 @@
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
 #include "core/stable_heap.hpp"
+#include <optional>
+
+#include "persist/recovery.hpp"
 #include "robustness/failpoint.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
@@ -230,6 +233,55 @@ class EnginePipelineAdapter {
   std::vector<Heap::ServiceCtx> ctx_;
 };
 
+/// DurableHeap over the pipelined heap, with the recovery path itself inside
+/// the soak loop: every `reopen_every` cycles the adapter CLOSES the durable
+/// heap and re-opens it from disk (checkpoint load + WAL replay), so a long
+/// stress run restarts the structure dozens of times mid-trace. The deletion
+/// stream must stay bit-exact against the oracle across every restart —
+/// that's the whole durability claim, soak-tested.
+class DurablePipelinedAdapter {
+ public:
+  explicit DurablePipelinedAdapter(std::size_t r, std::size_t reopen_every = 50)
+      : r_(r), reopen_every_(reopen_every), dir_(persist::make_temp_dir("ph-durable")) {
+    open();
+  }
+
+  DurablePipelinedAdapter(const DurablePipelinedAdapter&) = delete;
+  DurablePipelinedAdapter& operator=(const DurablePipelinedAdapter&) = delete;
+
+  ~DurablePipelinedAdapter() {
+    q_.reset();  // close the WAL before sweeping the directory
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    if (++cycles_ % reopen_every_ == 0) {
+      q_.reset();
+      open();  // full recovery: newest checkpoint + WAL tail replay
+    }
+    return q_->cycle(fresh, k, out);
+  }
+
+  bool check_invariants(std::string* why) { return q_->check_invariants(why); }
+
+ private:
+  void open() {
+    persist::DurableOptions opt;
+    opt.dir = dir_;
+    opt.fsync = persist::FsyncPolicy::kNever;  // soak targets logic, not disks
+    opt.checkpoint_interval = 24;
+    q_.emplace(PipelinedParallelHeap<std::uint64_t>(r_), opt);
+  }
+
+  std::size_t r_;
+  std::size_t reopen_every_;
+  std::string dir_;
+  std::size_t cycles_ = 0;
+  std::optional<persist::DurableHeap<PipelinedParallelHeap<std::uint64_t>>> q_;
+};
+
 /// The structures every stress run covers by default.
 inline const std::vector<std::string>& default_structures() {
   static const std::vector<std::string> names = {
@@ -238,7 +290,7 @@ inline const std::vector<std::string>& default_structures() {
       "batch_binary_heap",  "batch_dary4_heap",   "batch_skew_heap",
       "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue",
       "sharded_heap",       "engine_pipeline",    "local_heaps",
-      "local_heaps_mt"};
+      "local_heaps_mt",     "durable_pipelined"};
   return names;
 }
 
@@ -342,6 +394,11 @@ inline DiffFailure run_trace(const OpTrace& t) {
   if (s == "local_heaps_mt") {
     opt.relaxed = true;
     MtLocalHeapsAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "durable_pipelined") {
+    opt.invariant_stride = 64;
+    DurablePipelinedAdapter q(t.r);
     return run_differential(q, t, opt);
   }
   return {true, 0, "unknown structure '" + s + "' (see structures.hpp)"};

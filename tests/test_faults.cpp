@@ -341,6 +341,94 @@ TEST(Quarantine, BuildReactivatesQuarantinedShards) {
   for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(q.shard_active(i));
 }
 
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_clock() { return g_fake_now; }
+
+TEST(Quarantine, WatchdogStallVerdictRetiresShardOnFakeClock) {
+  // Satellite of the durability PR: PhaseWatchdog verdicts feed ShardedHeap
+  // retirement. Shard 2's heartbeat goes silent on a fake clock; after the
+  // configured consecutive stalled polls its shard is quarantined at the
+  // next cycle boundary, and the deletion stream stays exact throughout.
+  rb::PhaseWatchdog::Config wcfg;
+  wcfg.stall_timeout_ns = 1000;
+  wcfg.clock = &fake_clock;
+  g_fake_now = 0;
+  rb::PhaseWatchdog wd(wcfg);
+
+  ShardedHeap<U64>::Config scfg;
+  scfg.shards = 4;
+  ShardedHeap<U64> q(8, scfg);
+  q.attach_watchdog(wd, /*polls_to_quarantine=*/2);
+
+  testing::SortedOracle oracle;
+  std::vector<U64> got, want;
+  Xoshiro256 rng(13);
+  const std::size_t victim = 2;
+  for (int c = 0; c < 40; ++c) {
+    std::vector<U64> fresh(20);
+    for (auto& v : fresh) v = rng.next_below(1u << 20);
+    got.clear();
+    want.clear();
+    q.cycle(fresh, 8, got);
+    oracle.cycle(fresh, 8, want);
+    ASSERT_EQ(got, want) << "cycle " << c;
+    if (c >= 10 && c < 12) {
+      // Between cycles: time passes, every shard but the victim beats, and
+      // the poller runs. Two such polls reach the verdict threshold.
+      g_fake_now += 5000;
+      for (std::size_t s = 0; s < 4; ++s) {
+        if (s != victim && q.shard_active(s)) wd.beat(q.watchdog_channel(s));
+      }
+      wd.poll();
+    }
+  }
+  EXPECT_FALSE(q.shard_active(victim));
+  EXPECT_EQ(q.active_shards(), 3u);
+  EXPECT_GE(q.sharded_stats().quarantines, 1u);
+  // Exact tail: the retired shard's items were redistributed, not lost.
+  while (!oracle.empty() || !q.empty()) {
+    got.clear();
+    want.clear();
+    q.cycle({}, 8, got);
+    oracle.cycle({}, 8, want);
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(Quarantine, WatchdogNeverRetiresTheLastShard) {
+  rb::PhaseWatchdog::Config wcfg;
+  wcfg.stall_timeout_ns = 1000;
+  wcfg.clock = &fake_clock;
+  g_fake_now = 0;
+  rb::PhaseWatchdog wd(wcfg);
+  ShardedHeap<U64>::Config scfg;
+  scfg.shards = 3;
+  ShardedHeap<U64> q(4, scfg);
+  q.attach_watchdog(wd, 1);
+
+  std::vector<U64> sink;
+  q.cycle(seeded_keys(40), 4, sink);
+  // Every channel stalls; polls accumulate verdicts against all shards.
+  g_fake_now += 1u << 20;
+  wd.poll();
+  wd.poll();
+  testing::SortedOracle oracle;
+  std::vector<U64> rest(sink.begin(), sink.end());  // already deleted
+  sink.clear();
+  q.cycle({}, 4, sink);  // quarantine sweep happens here
+  EXPECT_EQ(q.active_shards(), 1u);  // degraded to one survivor, never zero
+  // The heap still answers exactly: drain and check global sortedness.
+  std::vector<U64> drained(sink.begin(), sink.end());
+  while (true) {
+    sink.clear();
+    q.cycle({}, 4, sink);
+    if (sink.empty()) break;
+    drained.insert(drained.end(), sink.begin(), sink.end());
+  }
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+  EXPECT_EQ(drained.size() + rest.size(), 40u);
+}
+
 TEST(Quarantine, DesOutcomeExactWithShardKilledMidRun) {
   if (!rb::kFailpoints) GTEST_SKIP() << "built with PH_FAILPOINTS=OFF";
   DisarmGuard guard;
@@ -431,9 +519,6 @@ TEST(EngineFaults, UserExceptionIsAlsoContained) {
 }
 
 // --------------------------------------------------------- watchdog
-
-std::uint64_t g_fake_now = 0;
-std::uint64_t fake_clock() { return g_fake_now; }
 
 TEST(Watchdog, LadderEscalatesOnFakeClock) {
   rb::PhaseWatchdog::Config cfg;
