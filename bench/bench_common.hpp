@@ -22,10 +22,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/provenance.hpp"
+#include "obs/publisher.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ph::bench {
@@ -40,6 +43,13 @@ struct OutputConfig {
 inline OutputConfig& output() {
   static OutputConfig cfg;
   return cfg;
+}
+
+/// The live publisher serving this bench's metrics (started by parse_args
+/// when --metrics-file/--metrics-port is given; null otherwise).
+inline std::unique_ptr<obs::SnapshotPublisher>& publisher() {
+  static std::unique_ptr<obs::SnapshotPublisher> p;
+  return p;
 }
 
 inline void header(const char* experiment, const char* claim) {
@@ -83,6 +93,9 @@ inline void json_metric(std::string name, double value) {
 /// parse_args(); idempotent only in the sense that it rewrites the files.
 inline void finish() {
   OutputConfig& cfg = output();
+  // Stop the live publisher first: its stop() writes one final snapshot, so
+  // even sub-cadence runs leave a readable metrics file behind.
+  publisher().reset();
   if (!cfg.json_path.empty()) {
     std::ofstream os(cfg.json_path);
     if (!os) {
@@ -93,6 +106,8 @@ inline void finish() {
       w.begin_object();
       w.kv("experiment", cfg.experiment);
       w.kv("telemetry_enabled", telemetry::kEnabled);
+      w.key("provenance");
+      obs::write_provenance_json(w);
       w.key("bench").begin_object();
       for (const auto& [name, value] : cfg.metrics) w.kv(name, value);
       w.end_object();
@@ -149,13 +164,40 @@ inline void parse_args(int& argc, char** argv) {
 
   int out = 1;
   int i = 1;
+  std::string metrics_file, metrics_port, metrics_period;
   while (i < argc) {
     if (take(i, "--json", output().json_path)) continue;
     if (take(i, "--trace", output().trace_path)) continue;
+    if (take(i, "--metrics-file", metrics_file)) continue;
+    if (take(i, "--metrics-port", metrics_port)) continue;
+    if (take(i, "--metrics-period-ms", metrics_period)) continue;
     argv[out++] = argv[i++];
   }
   argc = out;
   argv[argc] = nullptr;
+
+  // Live observability plane: --metrics-file writes snapshots at a cadence
+  // (.json → JSON, else Prometheus text); --metrics-port serves them over
+  // localhost HTTP (0 = ephemeral, the bound port is announced on stderr).
+  // Either alone suffices; a failed bind warns and the bench runs on.
+  if (!metrics_file.empty() || !metrics_port.empty()) {
+    obs::SnapshotPublisher::Config pc;
+    pc.file_path = metrics_file;
+    if (!metrics_port.empty()) pc.port = std::atoi(metrics_port.c_str());
+    if (!metrics_period.empty()) {
+      const int ms = std::atoi(metrics_period.c_str());
+      pc.period_ms = ms > 0 ? static_cast<unsigned>(ms) : 1u;
+    }
+    publisher() = std::make_unique<obs::SnapshotPublisher>(pc);
+    if (!publisher()->start()) {
+      std::fprintf(stderr, "bench: metrics publisher failed to start (port %s)\n",
+                   metrics_port.c_str());
+      publisher().reset();
+    } else if (publisher()->port() >= 0) {
+      std::fprintf(stderr, "bench: serving metrics on http://127.0.0.1:%d/metrics\n",
+                   publisher()->port());
+    }
+  }
 
   // Default the experiment label to the binary name; header() (which the
   // table-printing binaries call) overwrites it with the real title.

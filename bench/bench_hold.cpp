@@ -7,6 +7,7 @@
 // per-item cost stays within a small factor of the binary heap while doing
 // its work in r-item batches.
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "baselines/binary_heap.hpp"
@@ -56,13 +57,23 @@ int main(int argc, char** argv) {
   using namespace ph;
   using namespace ph::bench;
 
+  // --quick: one mid-size point instead of the full curve. This is what the
+  // CI telemetry-overhead gate runs twice (telemetry ON vs OFF build) — the
+  // full sweep would dominate the job for no extra signal.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
   header("E6 hold curves: ns per hold op vs queue size",
          "claim: heaps ~log n; calendar ~flat; parallel heap within a small "
          "factor of binary heap at scale");
   columns("n,binary,dary4,skew,pairing,calendar,parheap_r512,pipelined_r512");
 
-  for (std::size_t n = 1 << 8; n <= (1u << 21); n <<= 3) {
-    const std::uint64_t ops = 1 << 18;
+  const std::size_t n_lo = quick ? (1u << 14) : (1u << 8);
+  const std::size_t n_hi = quick ? (1u << 14) : (1u << 21);
+  for (std::size_t n = n_lo; n <= n_hi; n <<= 3) {
+    const std::uint64_t ops = quick ? (1 << 16) : (1 << 18);
     const double bin = time_scalar<BinaryHeap<std::uint64_t>>(n, ops);
     const double d4 = time_scalar<DaryHeap<std::uint64_t, 4>>(n, ops);
     const double skew = time_scalar<SkewHeap<std::uint64_t>>(n, ops);
@@ -74,6 +85,8 @@ int main(int argc, char** argv) {
     const double pipe = time_batch(pip, n, ops, 512);
     row("%zu,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f", n, bin, d4, skew, pair, cal,
         par, pipe);
+    json_metric("binary_ns_n" + std::to_string(n), bin);
+    json_metric("pipelined_ns_n" + std::to_string(n), pipe);
   }
   return 0;
 }

@@ -36,6 +36,9 @@ HoldRow time_sharded_hold(std::size_t shards, std::size_t n, std::uint64_t ops,
   ph::ShardedHeap<std::uint64_t> q(
       r, ph::ShardedHeap<std::uint64_t>::Config{shards, /*rebalance_interval=*/64,
                                                 /*sample_capacity=*/2048});
+  // Live gauges: with --metrics-port/--metrics-file a scraper watches this
+  // run's per-shard sizes and cycle counters advance mid-benchmark.
+  q.register_gauges("hold-k" + std::to_string(shards));
   q.build(ph::hold_initial(cfg));
   ph::Timer t;
   const ph::HoldResult res = ph::batch_hold(q, cfg, r);

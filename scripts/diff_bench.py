@@ -69,6 +69,38 @@ def latest_trajectory(root, exclude):
     return best
 
 
+def provenance_of(doc):
+    """First provenance block found among the file's bench documents (all
+    binaries in one trajectory run share a build, so any one is
+    representative). None for pre-provenance schemas."""
+    for bench_doc in doc.get("benches", {}).values():
+        prov = bench_doc.get("provenance")
+        if isinstance(prov, dict):
+            return prov
+    return None
+
+
+def print_provenance_diff(old_doc, new_doc):
+    """Surface build-config skew between the two runs: a timing delta against
+    a baseline built with different flags / telemetry state / hardware is not
+    a regression signal, so say so before the delta table."""
+    old_p, new_p = provenance_of(old_doc), provenance_of(new_doc)
+    if old_p is None or new_p is None:
+        if new_p is not None:
+            print("diff_bench: note: baseline predates provenance capture; "
+                  "build-config comparability unknown")
+        return
+    keys = sorted(set(old_p) | set(new_p))
+    diffs = [(k, old_p.get(k, "<absent>"), new_p.get(k, "<absent>"))
+             for k in keys if old_p.get(k) != new_p.get(k)]
+    if not diffs:
+        return
+    print("diff_bench: WARNING: build/host provenance differs — timing deltas "
+          "below may reflect the build, not the code:")
+    for k, o, n in diffs:
+        print(f"  provenance.{k}: {o!r} -> {n!r}")
+
+
 def scalars(bench_doc):
     """Flatten one binary's document into {metric_name: number}."""
     out = {}
@@ -109,6 +141,7 @@ def main():
         return 0
     print(f"diff_bench: pr{old_doc.get('pr', '?')} -> pr{new_doc.get('pr', '?')} "
           f"({args.baseline} -> {args.new})")
+    print_provenance_diff(old_doc, new_doc)
 
     old_b, new_b = old_doc["benches"], new_doc["benches"]
     for name in sorted(set(old_b) - set(new_b)):

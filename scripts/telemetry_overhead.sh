@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# CI gate: the always-on telemetry hooks must stay cheap. Runs bench_hold
+# --quick in a telemetry-ON release tree and a telemetry-OFF (-DPH_TELEMETRY=
+# OFF) release tree and compares the per-op timings; fails if the ON build is
+# slower by more than the threshold.
+#
+# Noise handling for 1-core shared runners: each build is run REPS times and
+# the per-metric MINIMUM is compared (the minimum is the least contaminated
+# estimate of the true cost), and a delta only fails if it exceeds BOTH the
+# relative threshold and an absolute ns/op floor — a 40% blowup of a 10ns
+# metric is jitter, not regression.
+#
+# usage: scripts/telemetry_overhead.sh [threshold_pct] [floor_ns] [reps]
+#   threshold_pct  max allowed (on-off)/off percent     (default 35)
+#   floor_ns       min absolute ns/op delta to count    (default 40)
+#   reps           runs per build, min taken            (default 3)
+#
+# environment:
+#   ON_BUILD / OFF_BUILD   override the build trees
+#                          (default build-release / build-release-notel)
+set -euo pipefail
+
+THRESHOLD="${1:-35}"
+FLOOR_NS="${2:-40}"
+REPS="${3:-3}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ON_BUILD="${ON_BUILD:-$ROOT/build-release}"
+OFF_BUILD="${OFF_BUILD:-$ROOT/build-release-notel}"
+
+for build in "$ON_BUILD" "$OFF_BUILD"; do
+  if [ ! -x "$build/bench/bench_hold" ]; then
+    echo "telemetry_overhead: $build/bench/bench_hold missing — build the" \
+         "release and release-notel presets first" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run_reps() {  # $1=build dir  $2=tag
+  local i
+  for i in $(seq 1 "$REPS"); do
+    "$1/bench/bench_hold" --quick --json "$TMP/$2-$i.json" > /dev/null
+  done
+}
+
+echo "telemetry_overhead: ${REPS}x bench_hold --quick per build"
+run_reps "$ON_BUILD" on
+run_reps "$OFF_BUILD" off
+
+python3 - "$TMP" "$THRESHOLD" "$FLOOR_NS" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+tmp, threshold, floor_ns = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+
+
+def best(tag):
+    """Per-metric minimum across the repetitions of one build."""
+    out = {}
+    for path in glob.glob(os.path.join(tmp, f"{tag}-*.json")):
+        with open(path) as fh:
+            bench = json.load(fh).get("bench", {})
+        for k, v in bench.items():
+            if isinstance(v, (int, float)):
+                out[k] = min(out.get(k, float("inf")), float(v))
+    return out
+
+
+on, off = best("on"), best("off")
+shared = sorted(set(on) & set(off))
+if not shared:
+    sys.exit("telemetry_overhead: no shared bench metrics between builds")
+
+failed = False
+for k in shared:
+    delta_ns = on[k] - off[k]
+    pct = 100.0 * delta_ns / off[k] if off[k] else 0.0
+    verdict = "ok"
+    if pct > threshold and delta_ns > floor_ns:
+        verdict = "FAIL"
+        failed = True
+    print(f"  {k}: off={off[k]:.0f}ns on={on[k]:.0f}ns "
+          f"delta={delta_ns:+.0f}ns ({pct:+.1f}%)  {verdict}")
+
+if failed:
+    print(f"telemetry_overhead: FAIL — telemetry costs more than "
+          f"{threshold:g}% (and more than {floor_ns:g}ns/op) somewhere above")
+    sys.exit(1)
+print(f"telemetry_overhead: OK — overhead within {threshold:g}% "
+      f"(or under the {floor_ns:g}ns/op noise floor)")
+EOF

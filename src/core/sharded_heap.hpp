@@ -43,12 +43,16 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "robustness/failpoint.hpp"
 #include "robustness/watchdog.hpp"
 #include "telemetry/telemetry.hpp"
@@ -184,7 +188,9 @@ class ShardedHeap {
     pulled_.resize(cfg_.shards);
     take_.resize(cfg_.shards);
     redist_.resize(cfg_.shards);
+    live_ = std::make_unique<Live>(cfg_.shards);
     reset_active();
+    update_live(0);
   }
 
   ShardedHeap(std::size_t node_capacity, std::size_t shards, Compare cmp = Compare())
@@ -256,6 +262,7 @@ class ShardedHeap {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       shards_[i].build(s.shard_items[i]);
     }
+    update_live(0);
   }
 
   /// Wires watchdog stall verdicts into shard retirement: registers one
@@ -279,6 +286,71 @@ class ShardedHeap {
   /// The watchdog channel id serving shard `s` (tests beat/poke these).
   std::size_t watchdog_channel(std::size_t s) const noexcept { return wd_ch_[s]; }
 
+  /// Lock-free mirror of the structure's live state, refreshed at every
+  /// cycle boundary (and by build/restore). This is what gauge callbacks
+  /// read: a scrape thread never touches the real shards, so it can run
+  /// mid-cycle without synchronizing with the engine.
+  struct Live {
+    explicit Live(std::size_t shards)
+        : shard_size(shards), shard_active(shards) {}
+    std::vector<std::atomic<std::uint64_t>> shard_size;
+    std::vector<std::atomic<std::uint64_t>> shard_active;  ///< 0/1
+    std::atomic<std::uint64_t> active_shards{0};
+    std::atomic<std::uint64_t> total_size{0};
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> putbacks{0};
+    std::atomic<std::uint64_t> rebalances{0};
+    std::atomic<std::uint64_t> quarantines{0};
+    std::atomic<std::uint64_t> last_cycle_ns{0};
+  };
+
+  const Live& live() const noexcept { return *live_; }
+
+  /// Publishes this heap's live state as named gauges in the process-wide
+  /// MetricsRegistry (per-shard size/liveness plus cycle/route/putback
+  /// totals a scraper turns into rates). `heap` labels every gauge so
+  /// multiple instances coexist. Deregistration is automatic (RAII) when
+  /// the heap dies. Call once, before the first scrape matters.
+  void register_gauges(const std::string& heap = "sharded") {
+    gauges_.clear();
+    Live* lv = live_.get();
+    auto lab = [&heap](std::initializer_list<std::pair<std::string, std::string>> more) {
+      std::vector<std::pair<std::string, std::string>> ls{{"heap", heap}};
+      ls.insert(ls.end(), more.begin(), more.end());
+      return ls;
+    };
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      gauges_.add(
+          obs::GaugeDesc{"shard_size", lab({{"shard", std::to_string(s)}}),
+                         "Items held by one shard (cycle-boundary mirror)."},
+          [lv, s] { return static_cast<double>(
+                        lv->shard_size[s].load(std::memory_order_relaxed)); });
+      gauges_.add(
+          obs::GaugeDesc{"shard_active", lab({{"shard", std::to_string(s)}}),
+                         "1 while the shard serves traffic, 0 once quarantined."},
+          [lv, s] { return static_cast<double>(
+                        lv->shard_active[s].load(std::memory_order_relaxed)); });
+    }
+    struct Simple { const char* name; const char* help; std::atomic<std::uint64_t> Live::*field; };
+    static constexpr Simple kSimple[] = {
+        {"active_shards", "Shards currently serving traffic.", &Live::active_shards},
+        {"heap_size", "Total items across all shards.", &Live::total_size},
+        {"heap_cycles", "Sharded cycles completed.", &Live::cycles},
+        {"heap_routed", "Items routed to shards (inserts).", &Live::routed},
+        {"heap_putbacks", "Prefix items returned after losing the tournament.", &Live::putbacks},
+        {"heap_rebalances", "Partition-map re-estimations applied.", &Live::rebalances},
+        {"heap_quarantines", "Shards retired by fault, deadline, or verdict.", &Live::quarantines},
+        {"heap_last_cycle_ns", "Wall-clock duration of the last sharded cycle.", &Live::last_cycle_ns},
+    };
+    for (const Simple& g : kSimple) {
+      auto field = g.field;
+      gauges_.add(obs::GaugeDesc{g.name, lab({}), g.help},
+                  [lv, field] { return static_cast<double>(
+                                    (lv->*field).load(std::memory_order_relaxed)); });
+    }
+  }
+
   /// Forces an immediate partition-map re-estimation from the rolling
   /// sample (testing/tuning; the interval path calls this too).
   void rebalance_now() {
@@ -286,6 +358,8 @@ class ShardedHeap {
     part_.rebalance(std::span<const T>(sample_));
     ++stats_.rebalances;
     telemetry::count(telemetry::Counter::kShardRebalances);
+    obs::flight(obs::FlightKind::kRebalance, active_shards());
+    if (live_) live_->rebalances.store(stats_.rebalances, std::memory_order_relaxed);
   }
 
   /// Replaces the content: seeds the partition map from `items` and
@@ -303,6 +377,7 @@ class ShardedHeap {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s].build(route_buf_[s]);
     }
+    update_live(0);
   }
 
   /// One sharded insert-delete cycle: routes `fresh` across the shards,
@@ -313,6 +388,16 @@ class ShardedHeap {
     PH_ASSERT_MSG(k <= r_, "cycle(): k must not exceed the node capacity r");
     ++stats_.cycles;
     recovery_.clear();
+
+    // Causal identity: every span recorded during this cycle — route, each
+    // shard's pipeline levels (ThreadTeam propagates the context into its
+    // workers), merge, putback — carries this id, so the Chrome exporter can
+    // stitch one cycle across all K shards into a single flow. The flight
+    // recorder logs the same id, linking black-box events to trace spans.
+    const std::uint64_t trace_id = telemetry::new_trace_id();
+    telemetry::TraceCtxScope trace_scope(trace_id);
+    obs::flight(obs::FlightKind::kCycle, trace_id, fresh.size());
+    Timer cycle_timer;
 
     // Phase 0: watchdog verdicts. A shard whose heartbeat channel has been
     // stalled for wd_polls_ consecutive polls is retired here, at the cycle
@@ -337,6 +422,9 @@ class ShardedHeap {
     // Phase 1: route. The first nonempty batch seeds the partition map.
     {
       telemetry::SpanScope span(telemetry::Phase::kShardRoute);
+      obs::flight(obs::FlightKind::kPhase,
+                  static_cast<std::uint64_t>(telemetry::Phase::kShardRoute),
+                  trace_id);
       if (!seeded_ && !fresh.empty()) {
         part_.rebalance(fresh);
         seeded_ = true;
@@ -362,6 +450,7 @@ class ShardedHeap {
     cycle_slots_.assign(dense_.begin(), dense_.end());
     for (const std::size_t s : cycle_slots_) {
       pulled_[s].clear();
+      telemetry::TraceTagScope shard_tag(static_cast<std::uint32_t>(s));
       // Checkpointing is O(shard size); only pay for it when an injected
       // failure can actually fire and we have a survivor to fail over to.
       const bool guard = cfg_.quarantine && active_shards() > 1 &&
@@ -412,6 +501,9 @@ class ShardedHeap {
     std::size_t rec_take = 0;
     {
       telemetry::SpanScope span(telemetry::Phase::kShardMerge);
+      obs::flight(obs::FlightKind::kPhase,
+                  static_cast<std::uint64_t>(telemetry::Phase::kShardMerge),
+                  trace_id);
       std::fill(take_.begin(), take_.end(), std::size_t{0});
       while (taken < k) {
         std::size_t best = shards_.size();
@@ -447,6 +539,7 @@ class ShardedHeap {
     // (insert-only cycles; k = 0 advances nothing out of the shard).
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (take_[s] >= pulled_[s].size()) continue;
+      telemetry::TraceTagScope shard_tag(static_cast<std::uint32_t>(s));
       const auto rest = std::span<const T>(pulled_[s]).subspan(take_[s]);
       sink_.clear();
       shards_[s].cycle(rest, 0, sink_);
@@ -479,6 +572,7 @@ class ShardedHeap {
         stats_.cycles % cfg_.rebalance_interval == 0) {
       rebalance_now();
     }
+    update_live(cycle_timer.nanos());
     return taken;
   }
 
@@ -568,6 +662,28 @@ class ShardedHeap {
                        [this](const T& a, const T& b) { return cmp_(a, b); });
     ++stats_.quarantines;
     telemetry::count(telemetry::Counter::kShardQuarantines);
+    obs::flight(obs::FlightKind::kQuarantine, s, drained.size());
+  }
+
+  /// Refreshes the lock-free Live mirror from authoritative state. Cycle
+  /// boundaries only — the one place shard sizes are consistent.
+  void update_live(std::uint64_t cycle_ns) noexcept {
+    Live& lv = *live_;
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t n = shards_[s].size();
+      lv.shard_size[s].store(n, std::memory_order_relaxed);
+      lv.shard_active[s].store(active_[s] != 0 ? 1 : 0, std::memory_order_relaxed);
+      total += n;
+    }
+    lv.total_size.store(total, std::memory_order_relaxed);
+    lv.active_shards.store(dense_.size(), std::memory_order_relaxed);
+    lv.cycles.store(stats_.cycles, std::memory_order_relaxed);
+    lv.routed.store(stats_.routed, std::memory_order_relaxed);
+    lv.putbacks.store(stats_.putbacks, std::memory_order_relaxed);
+    lv.rebalances.store(stats_.rebalances, std::memory_order_relaxed);
+    lv.quarantines.store(stats_.quarantines, std::memory_order_relaxed);
+    if (cycle_ns != 0) lv.last_cycle_ns.store(cycle_ns, std::memory_order_relaxed);
   }
 
   /// Rolling insert sample backing rebalance (overwrite-oldest ring; cheap,
@@ -611,6 +727,12 @@ class ShardedHeap {
   robustness::PhaseWatchdog* wd_ = nullptr;
   std::vector<std::size_t> wd_ch_;
   std::uint32_t wd_polls_ = 1;
+
+  // Observability: Live is heap-allocated so the heap stays movable (a
+  // vector of atomics is not), and gauge callbacks capture the stable Live*
+  // — never `this`.
+  std::unique_ptr<Live> live_;
+  obs::GaugeSet gauges_;
 
   // Scratch (reused; allocation-free after warm-up).
   std::vector<std::vector<T>> route_buf_, pulled_, redist_;

@@ -1,0 +1,163 @@
+#include "obs/exposition.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace ph::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void prom_labels(std::ostream& os,
+                 const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << prom_escape(v) << '"';
+  }
+  os << '}';
+}
+
+void prom_header(std::ostream& os, const std::string& name,
+                 const std::string& help, const char* type) {
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(const ObsSnapshot& snap, std::ostream& os) {
+  using telemetry::Counter;
+  using telemetry::Phase;
+
+  // Snapshot identity: lets a scraper detect publisher restarts and compute
+  // rates against the registry timebase instead of its own arrival clock.
+  prom_header(os, "ph_obs_snapshot_seq", "Monotone snapshot sequence number.",
+              "counter");
+  os << "ph_obs_snapshot_seq " << snap.seq << '\n';
+  prom_header(os, "ph_obs_uptime_seconds",
+              "Seconds since the telemetry registry was constructed.", "gauge");
+  os << "ph_obs_uptime_seconds "
+     << static_cast<double>(snap.t_ns) / 1e9 << '\n';
+
+  // Merged monotone counters.
+  for (std::size_t c = 0; c < telemetry::kNumCounters; ++c) {
+    const std::string name =
+        std::string("ph_") + telemetry::counter_name(static_cast<Counter>(c)) +
+        "_total";
+    prom_header(os, name, "Merged per-thread telemetry counter.", "counter");
+    os << name << ' ' << snap.telem.counters[c] << '\n';
+  }
+
+  // Per-phase latency summaries. One family, (phase, stat) labelled samples;
+  // exported as a gauge because percentiles are not aggregatable counters.
+  prom_header(os, "ph_phase_latency_ns",
+              "Per-phase latency summary (stat: count|min|max|mean|p50|p90|p99).",
+              "gauge");
+  static constexpr const char* kStats[] = {"count", "min",  "max", "mean",
+                                           "p50",   "p90",  "p99"};
+  for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+    const auto& h = snap.telem.phases[p];
+    if (h.count() == 0) continue;
+    const double vals[] = {static_cast<double>(h.count()),
+                           static_cast<double>(h.min()),
+                           static_cast<double>(h.max()),
+                           h.mean(),
+                           static_cast<double>(h.percentile(50)),
+                           static_cast<double>(h.percentile(90)),
+                           static_cast<double>(h.percentile(99))};
+    for (std::size_t s = 0; s < 7; ++s) {
+      os << "ph_phase_latency_ns{phase=\""
+         << telemetry::phase_name(static_cast<Phase>(p)) << "\",stat=\""
+         << kStats[s] << "\"} " << vals[s] << '\n';
+    }
+  }
+
+  prom_header(os, "ph_trace_dropped_spans_total",
+              "Trace-ring spans overwritten before export.", "counter");
+  os << "ph_trace_dropped_spans_total " << snap.telem.dropped_spans << '\n';
+
+  prom_header(os, "ph_flightrec_events_total",
+              "Flight-recorder events ever recorded.", "counter");
+  os << "ph_flightrec_events_total " << snap.flight_events << '\n';
+  prom_header(os, "ph_flightrec_dropped_total",
+              "Flight-recorder events overwritten by ring wrap.", "counter");
+  os << "ph_flightrec_dropped_total " << snap.flight_dropped << '\n';
+
+  // Registered gauges, grouped by family so every sample sits under its
+  // HELP/TYPE header (the text format requires family contiguity).
+  std::vector<std::string> family_order;
+  for (const GaugeSample& g : snap.gauges) {
+    const std::string name = "ph_" + g.desc.name;
+    bool seen = false;
+    for (const std::string& f : family_order) seen = seen || f == name;
+    if (!seen) family_order.push_back(name);
+  }
+  for (const std::string& family : family_order) {
+    bool header_done = false;
+    for (const GaugeSample& g : snap.gauges) {
+      const std::string name = "ph_" + g.desc.name;
+      if (name != family) continue;
+      if (!header_done) {
+        prom_header(os, family, g.desc.help.empty() ? "Live gauge." : g.desc.help,
+                    "gauge");
+        header_done = true;
+      }
+      os << family;
+      prom_labels(os, g.desc.labels);
+      os << ' ' << g.value << '\n';
+    }
+  }
+}
+
+void write_json(const ObsSnapshot& snap, std::ostream& os) {
+  telemetry::JsonWriter w(os);
+  w.begin_object();
+  w.kv("seq", snap.seq);
+  w.kv("t_ns", snap.t_ns);
+  w.kv("epoch_unix_ms", snap.epoch_unix_ms);
+
+  w.key("gauges").begin_array();
+  for (const GaugeSample& g : snap.gauges) {
+    w.begin_object();
+    w.kv("name", g.desc.name);
+    w.key("labels").begin_object();
+    for (const auto& [k, v] : g.desc.labels) w.kv(k, v);
+    w.end_object();
+    w.kv("value", g.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("flight").begin_object();
+  w.kv("events", snap.flight_events);
+  w.kv("dropped", snap.flight_dropped);
+  w.end_object();
+
+  w.key("telemetry");
+  snap.telem.write_json(w);
+
+  w.end_object();
+}
+
+}  // namespace ph::obs

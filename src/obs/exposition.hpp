@@ -1,0 +1,27 @@
+// Exposition: render an ObsSnapshot for scrapers.
+//
+// Two formats, same data:
+//  - Prometheus text format 0.0.4 (write_prometheus): what `curl
+//    localhost:<port>/metrics` and any Prometheus-compatible collector
+//    expect. Counters become ph_<name>_total, phase latency percentiles
+//    become ph_phase_latency_ns{phase=...,stat=...}, gauges keep their
+//    registered names and labels.
+//  - JSON (write_json): machine-friendly full detail — nests the complete
+//    telemetry snapshot (per-thread breakdown included) plus gauges; this
+//    is what tools/ph_top and the tests parse.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics_registry.hpp"
+
+namespace ph::obs {
+
+/// Prometheus text exposition format (one `# HELP`/`# TYPE` pair per metric
+/// family, then samples). Ends with a trailing newline as the format requires.
+void write_prometheus(const ObsSnapshot& snap, std::ostream& os);
+
+/// Full-detail JSON document (single object, no trailing newline).
+void write_json(const ObsSnapshot& snap, std::ostream& os);
+
+}  // namespace ph::obs

@@ -1,0 +1,65 @@
+#include "obs/metrics_registry.hpp"
+
+#include <chrono>
+
+#include "obs/flight_recorder.hpp"
+
+namespace ph::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+std::uint64_t MetricsRegistry::add_gauge(GaugeDesc desc, GaugeFn fn) {
+  std::lock_guard lk(mu_);
+  const std::uint64_t id = next_id_++;
+  entries_.push_back(Entry{id, std::move(desc), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::remove_gauge(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::gauge_count() {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+ObsSnapshot MetricsRegistry::snapshot() {
+  ObsSnapshot out;
+  out.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  out.t_ns = telemetry::Registry::instance().now_ns();
+  out.epoch_unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  out.telem = telemetry::Registry::instance().collect();
+  {
+    // Copy the callbacks out under the lock, evaluate them outside it: a
+    // gauge that (against convention) blocks must not wedge add/remove.
+    std::vector<std::pair<GaugeDesc, GaugeFn>> fns;
+    {
+      std::lock_guard lk(mu_);
+      fns.reserve(entries_.size());
+      for (const Entry& e : entries_) fns.emplace_back(e.desc, e.fn);
+    }
+    out.gauges.reserve(fns.size());
+    for (auto& [desc, fn] : fns) {
+      out.gauges.push_back(GaugeSample{std::move(desc), fn ? fn() : 0.0});
+    }
+  }
+  FlightRecorder& fr = FlightRecorder::instance();
+  out.flight_events = fr.total();
+  out.flight_dropped = fr.dropped();
+  return out;
+}
+
+}  // namespace ph::obs

@@ -1,0 +1,77 @@
+#include "obs/provenance.hpp"
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "telemetry/json.hpp"
+
+// Build facts arrive as compile definitions (see src/CMakeLists.txt); every
+// macro has a fallback so the file also compiles standalone.
+#ifndef PH_BUILD_GIT_SHA
+#define PH_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef PH_BUILD_TYPE
+#define PH_BUILD_TYPE "unknown"
+#endif
+#ifndef PH_BUILD_CXX_FLAGS
+#define PH_BUILD_CXX_FLAGS ""
+#endif
+#ifndef PH_TELEMETRY_ENABLED
+#define PH_TELEMETRY_ENABLED 1
+#endif
+#ifndef PH_SCHED_FUZZ_ENABLED
+#define PH_SCHED_FUZZ_ENABLED 0
+#endif
+#ifndef PH_FAILPOINTS_ENABLED
+#define PH_FAILPOINTS_ENABLED 0
+#endif
+
+namespace ph::obs {
+
+namespace {
+
+Provenance compute() {
+  Provenance p;
+  p.git_sha = PH_BUILD_GIT_SHA;
+#if defined(__clang__)
+  p.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  p.compiler = std::string("gcc ") + __VERSION__;
+#else
+  p.compiler = "unknown";
+#endif
+  p.build_type = PH_BUILD_TYPE;
+  p.cxx_flags = PH_BUILD_CXX_FLAGS;
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0) p.hostname = host;
+  p.cores = std::thread::hardware_concurrency();
+  p.telemetry = PH_TELEMETRY_ENABLED != 0;
+  p.sched_fuzz = PH_SCHED_FUZZ_ENABLED != 0;
+  p.failpoints = PH_FAILPOINTS_ENABLED != 0;
+  return p;
+}
+
+}  // namespace
+
+const Provenance& provenance() {
+  static const Provenance p = compute();
+  return p;
+}
+
+void write_provenance_json(telemetry::JsonWriter& w) {
+  const Provenance& p = provenance();
+  w.begin_object();
+  w.kv("git_sha", p.git_sha);
+  w.kv("compiler", p.compiler);
+  w.kv("build_type", p.build_type);
+  w.kv("cxx_flags", p.cxx_flags);
+  w.kv("hostname", p.hostname);
+  w.kv("cores", p.cores);
+  w.kv("telemetry", p.telemetry);
+  w.kv("sched_fuzz", p.sched_fuzz);
+  w.kv("failpoints", p.failpoints);
+  w.end_object();
+}
+
+}  // namespace ph::obs

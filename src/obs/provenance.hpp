@@ -1,0 +1,42 @@
+// Provenance: what build, on what machine, with which toggles.
+//
+// Benchmark JSON without build provenance is a trap: a "regression" between
+// two BENCH files is as likely a compiler-flag or PH_TELEMETRY mismatch as
+// a real code change. Every bench --json output embeds this block, and
+// scripts/diff_bench.py surfaces it whenever two baselines disagree on
+// build configuration.
+//
+// The git sha and flags are burned in at compile time (CMake passes them as
+// compile definitions of this one translation unit — changing commit only
+// recompiles provenance.cpp, not the world); hostname and core count are
+// read at process start.
+#pragma once
+
+#include <string>
+
+namespace ph::telemetry {
+class JsonWriter;
+}
+
+namespace ph::obs {
+
+struct Provenance {
+  std::string git_sha;     ///< HEAD at configure time ("unknown" outside git)
+  std::string compiler;    ///< e.g. "GNU 13.2.0" (from __VERSION__)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string cxx_flags;   ///< effective flags for that build type
+  std::string hostname;
+  unsigned cores = 0;
+  bool telemetry = false;  ///< PH_TELEMETRY_ENABLED at compile time
+  bool sched_fuzz = false; ///< PH_SCHED_FUZZ_ENABLED at compile time
+  bool failpoints = false; ///< PH_FAILPOINTS_ENABLED at compile time
+};
+
+/// The process's provenance (computed once, then cached).
+const Provenance& provenance();
+
+/// Writes the provenance as one JSON object *value* — caller supplies the
+/// key: `w.key("provenance"); write_provenance_json(w);`.
+void write_provenance_json(telemetry::JsonWriter& w);
+
+}  // namespace ph::obs

@@ -1,0 +1,193 @@
+#include "obs/publisher.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace ph::obs {
+
+namespace {
+
+bool wants_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+/// Blocking-with-timeout send of the whole buffer. MSG_NOSIGNAL: a scraper
+/// that disconnects mid-response must not SIGPIPE the engine process.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int code, const char* status, const char* ctype,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << ' ' << status << "\r\n"
+     << "Content-Type: " << ctype << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+bool SnapshotPublisher::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  stop_.store(false, std::memory_order_release);
+
+  if (cfg_.port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, always
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void SnapshotPublisher::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  bound_port_ = -1;
+  running_.store(false, std::memory_order_release);
+  // Leave one final snapshot behind so even a run shorter than the cadence
+  // produces a readable file.
+  if (!cfg_.file_path.empty()) publish_file_now();
+}
+
+void SnapshotPublisher::publish_file_now() {
+  if (cfg_.file_path.empty()) return;
+  const ObsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const std::string tmp = cfg_.file_path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return;
+    if (wants_json(cfg_.file_path)) {
+      write_json(snap, os);
+      os << '\n';
+    } else {
+      write_prometheus(snap, os);
+    }
+  }
+  if (std::rename(tmp.c_str(), cfg_.file_path.c_str()) == 0) {
+    file_publishes_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void SnapshotPublisher::loop() {
+  using clock = std::chrono::steady_clock;
+  auto next_file = clock::now();  // publish immediately on start
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!cfg_.file_path.empty() && clock::now() >= next_file) {
+      publish_file_now();
+      next_file = clock::now() + std::chrono::milliseconds(cfg_.period_ms);
+    }
+
+    if (listen_fd_ < 0) {
+      // File-only mode: sleep in short slices so stop() stays responsive.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100 /* ms */);
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    serve_one(conn);
+    ::close(conn);
+  }
+}
+
+void SnapshotPublisher::serve_one(int conn_fd) {
+  // Read until the end of the request line; clients are local curl/ph_top,
+  // so one short read almost always suffices. Bounded by size and time.
+  std::string req;
+  char buf[1024];
+  for (int rounds = 0; rounds < 8 && req.find("\r\n") == std::string::npos;
+       ++rounds) {
+    pollfd pfd{conn_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 250) <= 0) break;
+    const ssize_t n = ::recv(conn_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.size() > 8192) break;
+  }
+
+  std::string method, path;
+  {
+    std::istringstream is(req);
+    is >> method >> path;
+  }
+  if (method != "GET") {
+    send_all(conn_fd, http_response(405, "Method Not Allowed", "text/plain",
+                                    "GET only\n"));
+    return;
+  }
+  requests_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (path == "/healthz") {
+    send_all(conn_fd, http_response(200, "OK", "text/plain", "ok\n"));
+    return;
+  }
+  if (path == "/metrics" || path == "/metrics.json" || path == "/") {
+    const ObsSnapshot snap = MetricsRegistry::instance().snapshot();
+    std::ostringstream body;
+    if (path == "/metrics.json") {
+      write_json(snap, body);
+      body << '\n';
+      send_all(conn_fd,
+               http_response(200, "OK", "application/json", body.str()));
+    } else {
+      write_prometheus(snap, body);
+      send_all(conn_fd, http_response(200, "OK",
+                                      "text/plain; version=0.0.4", body.str()));
+    }
+    return;
+  }
+  send_all(conn_fd, http_response(404, "Not Found", "text/plain",
+                                  "unknown path\n"));
+}
+
+}  // namespace ph::obs

@@ -1,0 +1,85 @@
+// SnapshotPublisher: serve live ObsSnapshots without stopping the engine.
+//
+// Two transports, either or both:
+//  - TCP: a minimal HTTP/1.0 responder on 127.0.0.1:<port> (port 0 binds an
+//    ephemeral port, reported by port()). GET /metrics returns Prometheus
+//    text, GET /metrics.json the JSON document, GET /healthz "ok". One
+//    background thread, one request at a time — a scrape is a snapshot plus
+//    a few kilobytes of serialization, so concurrency buys nothing here and
+//    a single thread can never amplify load on the engine.
+//  - File: at a fixed cadence, write the snapshot to a well-known path
+//    (atomically: temp + rename, so readers never see a torn file). Format
+//    follows the extension: ".json" → JSON, anything else → Prometheus text.
+//
+// The publisher holds no engine locks; everything it reads comes through
+// MetricsRegistry::snapshot(), whose gauge callbacks are by contract
+// lock-free atomic loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace ph::obs {
+
+class SnapshotPublisher {
+ public:
+  struct Config {
+    /// If nonempty, write a snapshot here every period_ms (atomic rename).
+    std::string file_path;
+    /// If >= 0, serve HTTP on 127.0.0.1:<port>; 0 picks an ephemeral port.
+    int port = -1;
+    /// File-write cadence. Scrapes over TCP always get a fresh snapshot.
+    unsigned period_ms = 1000;
+  };
+
+  explicit SnapshotPublisher(Config cfg) : cfg_(std::move(cfg)) {}
+  ~SnapshotPublisher() { stop(); }
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// Binds (if TCP requested) and starts the background thread. Returns
+  /// false if the socket could not be bound — the publisher then stays
+  /// stopped and the engine is unaffected (observability must never be the
+  /// reason a run dies).
+  bool start();
+
+  /// Stops the thread, closes the socket. Idempotent. A final file write
+  /// happens on stop so short runs still leave a snapshot behind.
+  void stop();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  /// Actual bound TCP port (after start()), or -1 when TCP is off.
+  int port() const noexcept { return bound_port_; }
+
+  /// Completed file publications (tests poll this to await a cadence tick).
+  std::uint64_t file_publishes() const noexcept {
+    return file_publishes_.load(std::memory_order_acquire);
+  }
+
+  /// Requests served over TCP.
+  std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_acquire);
+  }
+
+  /// Synchronously writes the snapshot file once (independent of cadence).
+  void publish_file_now();
+
+ private:
+  void loop();
+  void serve_one(int conn_fd);
+
+  Config cfg_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> file_publishes_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+};
+
+}  // namespace ph::obs

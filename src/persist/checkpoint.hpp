@@ -34,6 +34,7 @@
 
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
+#include "obs/flight_recorder.hpp"
 #include "persist/format.hpp"
 #include "robustness/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
@@ -183,6 +184,7 @@ void write_checkpoint(const std::string& dir, std::uint64_t seq,
     if (policy != FsyncPolicy::kNever) fsync_dir(dir);
     telemetry::count(telemetry::Counter::kCkptWrites);
     telemetry::count(telemetry::Counter::kCkptBytes, bytes);
+    obs::flight(obs::FlightKind::kCkptPublish, seq, bytes);
   } catch (...) {
     f.close();
     ::unlink(tmp_path.c_str());

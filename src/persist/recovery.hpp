@@ -46,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/format.hpp"
 #include "persist/wal.hpp"
@@ -181,6 +183,7 @@ class DurableHeap {
     rotate_wal();
     prune();
     ops_since_ckpt_ = 0;
+    live_->checkpoints.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -199,6 +202,39 @@ class DurableHeap {
 
   bool check_invariants(std::string* why = nullptr) {
     return pq_.check_invariants(why);
+  }
+
+  /// Lock-free mirror for gauge callbacks (same convention as
+  /// ShardedHeap::Live): recovery updates `replayed` per applied record, so
+  /// a scrape DURING a long replay shows advancing progress, not a stall.
+  struct Live {
+    std::atomic<std::uint64_t> op_seq{0};
+    std::atomic<std::uint64_t> replayed{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> recovering{0};  ///< 1 while recover() runs
+  };
+
+  const Live& live() const noexcept { return *live_; }
+
+  /// Publishes durability gauges (op sequence, replay progress, checkpoint
+  /// count) in the process-wide MetricsRegistry under the `heap` label.
+  void register_gauges(const std::string& heap = "durable") {
+    gauges_.clear();
+    Live* lv = live_.get();
+    struct Simple { const char* name; const char* help; std::atomic<std::uint64_t> Live::*field; };
+    static constexpr Simple kSimple[] = {
+        {"durable_op_seq", "Last logged-and-applied operation sequence.", &Live::op_seq},
+        {"durable_replayed", "WAL records applied by the current/last recovery.", &Live::replayed},
+        {"durable_checkpoints", "Checkpoints published by this instance.", &Live::checkpoints},
+        {"durable_recovering", "1 while a recovery pass is running.", &Live::recovering},
+    };
+    for (const Simple& g : kSimple) {
+      auto field = g.field;
+      gauges_.add(
+          obs::GaugeDesc{g.name, {{"heap", heap}}, g.help},
+          [lv, field] { return static_cast<double>(
+                            (lv->*field).load(std::memory_order_relaxed)); });
+    }
   }
 
  private:
@@ -222,6 +258,7 @@ class DurableHeap {
 
   void finish_op() {
     ++op_seq_;
+    live_->op_seq.store(op_seq_, std::memory_order_relaxed);
     ++ops_since_ckpt_;
     if (opt_.checkpoint_interval != 0 &&
         ops_since_ckpt_ >= opt_.checkpoint_interval) {
@@ -274,6 +311,8 @@ class DurableHeap {
 
   void recover() {
     telemetry::SpanScope span(telemetry::Phase::kRecoverReplay);
+    obs::flight(obs::FlightKind::kRecoveryStart);
+    live_->recovering.store(1, std::memory_order_relaxed);
     std::error_code ec;
     std::filesystem::create_directories(opt_.dir, ec);
     if (ec) {
@@ -332,6 +371,7 @@ class DurableHeap {
         apply_record(rec);
         expected = rec.seq;
         ++info_.replayed;
+        live_->replayed.store(info_.replayed, std::memory_order_relaxed);
         telemetry::count(telemetry::Counter::kWalReplayed);
       }
       if (seg.torn_tail) info_.wal_torn = true;
@@ -350,6 +390,9 @@ class DurableHeap {
     rotate_wal();
     if (opt_.checkpoint_on_open) checkpoint_now();
     telemetry::count(telemetry::Counter::kRecoveries);
+    live_->op_seq.store(op_seq_, std::memory_order_relaxed);
+    live_->recovering.store(0, std::memory_order_relaxed);
+    obs::flight(obs::FlightKind::kRecoveryDone, op_seq_, info_.replayed);
   }
 
   bool verify_recovered(std::string* why) {
@@ -366,6 +409,10 @@ class DurableHeap {
 
   PQ pq_;
   DurableOptions opt_;
+  // Initialized before the ctor body runs recover(); heap-allocated so the
+  // wrapper stays movable and gauge callbacks hold a stable pointer.
+  std::unique_ptr<Live> live_ = std::make_unique<Live>();
+  obs::GaugeSet gauges_;
   std::unique_ptr<WalWriter<T>> wal_;
   std::uint64_t op_seq_ = 0;
   std::size_t ops_since_ckpt_ = 0;

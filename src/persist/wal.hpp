@@ -32,6 +32,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "persist/format.hpp"
 #include "robustness/failpoint.hpp"
 #include "telemetry/telemetry.hpp"
@@ -78,6 +79,7 @@ class WalWriter {
     append_frame(frame, payload);
     file_.write_all(frame.data(), frame.size());
     telemetry::count(telemetry::Counter::kWalBytes, frame.size());
+    obs::flight(obs::FlightKind::kWalRotate, start_seq);
     if (policy_ == FsyncPolicy::kEveryRecord) sync();
   }
 
@@ -127,6 +129,9 @@ class WalWriter {
   }
 
   void sync() {
+    // Fsync latency is the durability tax every kEveryRecord append pays —
+    // first-class phase so dashboards see its distribution, not just counts.
+    telemetry::SpanScope span(telemetry::Phase::kWalFsync);
     file_.sync();
     telemetry::count(telemetry::Counter::kWalFsyncs);
   }

@@ -46,6 +46,8 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
+
 #ifndef PH_FAILPOINTS_ENABLED
 #define PH_FAILPOINTS_ENABLED 1
 #endif
@@ -238,7 +240,12 @@ inline bool fire(FailSite site) noexcept {
   }
   const std::uint64_t mx = st.max_fires.load(std::memory_order_relaxed);
   if (mx != 0 && st.fires.load(std::memory_order_relaxed) >= mx) return false;
-  st.fires.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fires = st.fires.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Black box: every fire is a causal root for whatever breaks next, so it
+  // must appear in post-mortem dumps ahead of the watchdog/quarantine events
+  // it provokes.
+  obs::flight(obs::FlightKind::kFailpointFire,
+              static_cast<std::uint64_t>(site), fires);
   return true;
 }
 
@@ -286,6 +293,8 @@ inline void maybe_stall(FailSite site) {
 inline void note_recovery(FailSite site) noexcept {
   fp_detail::sites()[static_cast<std::size_t>(site)].recoveries.fetch_add(
       1, std::memory_order_relaxed);
+  obs::flight(obs::FlightKind::kFailpointRecovery,
+              static_cast<std::uint64_t>(site));
 }
 
 inline SiteStats stats(FailSite site) noexcept {

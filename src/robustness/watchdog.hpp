@@ -11,8 +11,11 @@
 //
 //   rung 1  every poll that finds a stalled channel bumps the telemetry
 //           kWatchdogStalls counter (cheap, machine-readable, soaks watch it)
-//   rung 2  after `dump_after_polls` consecutive stalled polls, dump the
-//           channel table and merged counters to stderr (once per episode)
+//   rung 2  after `dump_after_polls` consecutive stalled polls, render the
+//           channel table and merged counters as one report block and hand
+//           it to the report sink (stderr by default; pluggable via
+//           set_report_sink), once per episode — and persist the flight
+//           recorder ring to a timestamped file (the black-box dump)
 //   rung 3  optionally, after `abort_after_polls` consecutive stalled polls,
 //           dump the telemetry trace rings and abort() — for CI jobs where
 //           a wedged process would otherwise burn the job timeout. The full
@@ -29,12 +32,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 
@@ -42,6 +48,11 @@ namespace ph::robustness {
 
 class PhaseWatchdog {
  public:
+  /// Receives each rung-2/3 report as one formatted text block. The default
+  /// sink writes to stderr; embedders (tests, a logging layer) replace it.
+  /// Reports also always land in the flight recorder regardless of sink.
+  using ReportSink = std::function<void(const std::string&)>;
+
   struct Config {
     std::uint64_t stall_timeout_ns = 500'000'000;  ///< beat age that counts as stalled
     std::uint64_t poll_interval_ns = 100'000'000;  ///< monitor-thread cadence
@@ -84,9 +95,26 @@ class PhaseWatchdog {
   std::size_t num_channels() const noexcept { return channels_.size(); }
 
   /// Heartbeat: the channel's owner calls this at every phase crossing.
-  /// One atomic store; safe against a concurrent poller.
+  /// One atomic store (plus a flight-recorder append); safe against a
+  /// concurrent poller.
   void beat(std::size_t ch) noexcept {
     channels_[ch]->last_beat.store(now(), std::memory_order_release);
+    obs::flight(obs::FlightKind::kWatchdogBeat, ch);
+  }
+
+  /// Replaces the rung-2/3 report sink (default: stderr). Install before
+  /// monitoring starts; not synchronized against a concurrent poller.
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  /// Rung-2 reports emitted (episodes that reached dump_after_polls).
+  std::uint64_t reports() const noexcept {
+    return reports_.load(std::memory_order_relaxed);
+  }
+
+  /// Path of the most recent stall-verdict flight dump ("" if none yet).
+  std::string last_flight_dump() const {
+    std::lock_guard lk(dump_path_mu_);
+    return last_flight_dump_;
   }
 
   /// One scan over all channels, advancing the escalation ladder. Exactly
@@ -95,8 +123,8 @@ class PhaseWatchdog {
   PollResult poll() {
     PollResult res;
     const std::uint64_t t = now();
-    for (auto& chp : channels_) {
-      Channel& ch = *chp;
+    for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+      Channel& ch = *channels_[ci];
       const std::uint64_t beat_t = ch.last_beat.load(std::memory_order_acquire);
       const bool stalled = t >= beat_t && t - beat_t > cfg_.stall_timeout_ns;
       if (!stalled) {
@@ -110,16 +138,28 @@ class PhaseWatchdog {
           ch.consecutive.fetch_add(1, std::memory_order_relaxed) + 1;
       stalls_.fetch_add(1, std::memory_order_relaxed);
       telemetry::count(telemetry::Counter::kWatchdogStalls);
+      obs::flight(obs::FlightKind::kWatchdogStall, ci, consec);
       if (consec >= cfg_.dump_after_polls && !ch.episode_dumped) {
         ch.episode_dumped = true;
         res.dumped = true;
+        reports_.fetch_add(1, std::memory_order_relaxed);
+        obs::flight(obs::FlightKind::kWatchdogReport, ci);
         dump_report(t);
+        // The stall *verdict* also triggers the black box: persist the event
+        // ring now, while the wedged state is still observable — the process
+        // may be aborted (rung 3, CI timeout) before anything else runs.
+        const std::string path =
+            obs::FlightRecorder::instance().dump_to_file("watchdog-stall");
+        std::lock_guard lk(dump_path_mu_);
+        last_flight_dump_ = path;
       }
       if (cfg_.abort_on_stall && consec >= cfg_.abort_after_polls) {
+        obs::flight(obs::FlightKind::kWatchdogAbort, ci, consec);
         std::fprintf(stderr,
                      "ph: watchdog: channel '%s' stalled for %u consecutive polls"
                      " — aborting; trace rings follow\n",
                      ch.name.c_str(), consec);
+        obs::FlightRecorder::instance().dump_to_file("watchdog-abort");
         telemetry::write_chrome_trace(std::cerr);
         std::cerr << std::endl;
         std::abort();
@@ -188,30 +228,47 @@ class PhaseWatchdog {
             .count());
   }
 
+  /// Renders the rung-2 report and hands it to the sink as one block (a
+  /// replacement sink gets a parseable unit, and interleaving with other
+  /// stderr writers can't shred the table).
   void dump_report(std::uint64_t t) const {
-    std::fprintf(stderr, "ph: watchdog: stall detected; channel table:\n");
+    char line[256];
+    std::string report = "ph: watchdog: stall detected; channel table:\n";
     for (const auto& chp : channels_) {
       const std::uint64_t beat_t = chp->last_beat.load(std::memory_order_acquire);
       const std::uint64_t age = t >= beat_t ? t - beat_t : 0;
-      std::fprintf(stderr, "ph:   %-24s last beat %8.3f ms ago  (%u stalled polls)\n",
-                   chp->name.c_str(), static_cast<double>(age) / 1e6,
-                   chp->consecutive.load(std::memory_order_relaxed));
+      std::snprintf(line, sizeof(line),
+                    "ph:   %-24s last beat %8.3f ms ago  (%u stalled polls)\n",
+                    chp->name.c_str(), static_cast<double>(age) / 1e6,
+                    chp->consecutive.load(std::memory_order_relaxed));
+      report += line;
     }
     if (telemetry::kEnabled) {
       const telemetry::MetricsSnapshot snap = telemetry::Registry::instance().collect();
-      std::fprintf(stderr, "ph: watchdog: merged counters:\n");
+      report += "ph: watchdog: merged counters:\n";
       for (std::size_t c = 0; c < telemetry::kNumCounters; ++c) {
         if (snap.counters[c] == 0) continue;
-        std::fprintf(stderr, "ph:   %-18s %llu\n",
-                     telemetry::counter_name(static_cast<telemetry::Counter>(c)),
-                     static_cast<unsigned long long>(snap.counters[c]));
+        std::snprintf(line, sizeof(line), "ph:   %-18s %llu\n",
+                      telemetry::counter_name(static_cast<telemetry::Counter>(c)),
+                      static_cast<unsigned long long>(snap.counters[c]));
+        report += line;
       }
+    }
+    if (sink_) {
+      sink_(report);
+    } else {
+      std::fwrite(report.data(), 1, report.size(), stderr);
+      std::fflush(stderr);
     }
   }
 
   Config cfg_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  ReportSink sink_;  ///< empty = stderr
   std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> reports_{0};
+  mutable std::mutex dump_path_mu_;
+  std::string last_flight_dump_;
   std::atomic<bool> stop_{false};
   std::thread monitor_;
 };

@@ -32,7 +32,7 @@ void flush_telemetry_on_assert() {
 // Registered at static-initialization time from the one translation unit
 // every ph_lib consumer links.
 [[maybe_unused]] const bool g_assert_hook_registered = [] {
-  ph::set_assert_flush_hook(&flush_telemetry_on_assert);
+  ph::add_assert_flush_hook(&flush_telemetry_on_assert);
   return true;
 }();
 
@@ -51,6 +51,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kShardMerge: return "shard_merge";
     case Phase::kCkptWrite: return "ckpt_write";
     case Phase::kWalAppend: return "wal_append";
+    case Phase::kWalFsync: return "wal_fsync";
     case Phase::kRecoverReplay: return "recover_replay";
     case Phase::kCount: break;
   }

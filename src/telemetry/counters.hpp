@@ -43,6 +43,7 @@ enum class Phase : unsigned {
   kShardMerge,      ///< K-way tournament over per-shard prefixes
   kCkptWrite,       ///< serializing + publishing one durable checkpoint
   kWalAppend,       ///< appending (and per-policy fsyncing) one WAL record
+  kWalFsync,        ///< one fsync(2) issued by the WAL writer (latency source)
   kRecoverReplay,   ///< full recovery pass: load checkpoint + replay WAL tail
   kCount
 };

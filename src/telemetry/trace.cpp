@@ -1,6 +1,8 @@
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "telemetry/counters.hpp"
@@ -19,6 +21,31 @@ void emit_event(JsonWriter& w, const char* ph, unsigned tid, const TraceSpan& s,
   w.kv("pid", 0);
   w.kv("tid", tid);
   w.kv("ts", static_cast<double>(ts_ns) / 1000.0);
+  if (ph[0] == 'B' && s.ctx != 0) {
+    // Causal context: which sharded cycle this span served, and which shard
+    // slot (if any). Perfetto surfaces these as slice args.
+    w.key("args").begin_object();
+    w.kv("trace_id", s.ctx);
+    if (s.tag != kNoTraceTag) w.kv("shard", s.tag);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+/// One flow-event record ("s" start / "t" step / "f" finish). Flow events
+/// with one id draw an arrow chain across the slices enclosing their
+/// (tid, ts) anchors — here: the spans of one sharded cycle.
+void emit_flow(JsonWriter& w, const char* ph, unsigned tid, std::uint64_t id,
+               std::uint64_t ts_ns) {
+  w.begin_object();
+  w.kv("name", "cycle");
+  w.kv("cat", "ph_flow");
+  w.kv("ph", ph);
+  w.kv("id", id);
+  w.kv("pid", 0);
+  w.kv("tid", tid);
+  w.kv("ts", static_cast<double>(ts_ns) / 1000.0);
+  if (ph[0] == 'f') w.kv("bp", "e");
   w.end_object();
 }
 
@@ -29,6 +56,10 @@ void write_chrome_trace(std::ostream& os) {
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
+
+  // Anchor spans of each causal context: (ctx) -> [(tid, t0, tag)], filled
+  // while walking the per-thread rings and emitted as flow arrows below.
+  std::map<std::uint64_t, std::vector<std::pair<unsigned, std::uint64_t>>> flows;
 
   for (ThreadSlot* slot : Registry::instance().slots()) {
     // Thread metadata record so viewers label the track.
@@ -60,10 +91,26 @@ void write_chrome_trace(std::ostream& os) {
       }
       emit_event(w, "B", slot->tid, s, s.t0_ns);
       open.push_back(s);
+      // Flow anchors: only top-level spans of a context (nested children
+      // share the id; one anchor per slice stack keeps the arrows legible).
+      if (s.ctx != 0 && (open.size() == 1 || open[open.size() - 2].ctx != s.ctx)) {
+        flows[s.ctx].emplace_back(slot->tid, s.t0_ns);
+      }
     }
     while (!open.empty()) {
       emit_event(w, "E", slot->tid, open.back(), open.back().t1_ns);
       open.pop_back();
+    }
+  }
+
+  // Stitch each cycle's spans into one flow arrow chain, in time order.
+  for (auto& [ctx, anchors] : flows) {
+    if (anchors.size() < 2) continue;  // an arrow needs two ends
+    std::sort(anchors.begin(), anchors.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const char* ph = i == 0 ? "s" : (i + 1 == anchors.size() ? "f" : "t");
+      emit_flow(w, ph, anchors[i].first, ctx, anchors[i].second);
     }
   }
 

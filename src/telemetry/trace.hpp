@@ -21,10 +21,15 @@
 
 namespace ph::telemetry {
 
+/// Tag value meaning "no shard attribution" (see telemetry.hpp trace ctx).
+inline constexpr std::uint32_t kNoTraceTag = 0xffffffffu;
+
 struct TraceSpan {
   std::uint32_t phase;   ///< Phase enum value (see counters.hpp)
   std::uint64_t t0_ns;   ///< begin, ns since Registry epoch
   std::uint64_t t1_ns;   ///< end
+  std::uint64_t ctx = 0; ///< causal trace id (0 = none): one sharded cycle
+  std::uint32_t tag = kNoTraceTag;  ///< shard slot the span served, if any
 };
 
 class TraceRing {

@@ -7,6 +7,7 @@
 // heavyweight checks (full-tree invariant scans).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -14,16 +15,19 @@
 namespace ph {
 
 /// Called (at most once, best effort) after an assertion failure is printed
-/// and before abort(). The telemetry layer registers a hook that flushes the
-/// counter table and trace rings to stderr, so a sanitizer/CI assert carries
-/// its last ~8k events instead of just one line. The hook must not assume a
-/// sane heap — it runs on the failing thread with invariants already broken.
+/// and before abort(). Hooks form a small chain: the telemetry layer flushes
+/// the counter table and trace rings to stderr, and the observability layer
+/// writes the flight-recorder black box to a file — so a sanitizer/CI assert
+/// carries the run's recent history instead of one line. Hooks must not
+/// assume a sane heap — they run on the failing thread with invariants
+/// already broken.
 using AssertFlushHook = void (*)();
 
 namespace assert_detail {
-inline std::atomic<AssertFlushHook>& flush_hook() {
-  static std::atomic<AssertFlushHook> hook{nullptr};
-  return hook;
+inline constexpr std::size_t kMaxFlushHooks = 4;
+inline std::array<std::atomic<AssertFlushHook>, kMaxFlushHooks>& flush_hooks() {
+  static std::array<std::atomic<AssertFlushHook>, kMaxFlushHooks> hooks{};
+  return hooks;
 }
 inline std::atomic<bool>& flushing() {
   static std::atomic<bool> f{false};
@@ -31,20 +35,29 @@ inline std::atomic<bool>& flushing() {
 }
 }  // namespace assert_detail
 
-inline void set_assert_flush_hook(AssertFlushHook hook) noexcept {
-  assert_detail::flush_hook().store(hook, std::memory_order_release);
+/// Appends `hook` to the flush chain (idempotent per hook; static-init
+/// safe). Returns false if the chain is full.
+inline bool add_assert_flush_hook(AssertFlushHook hook) noexcept {
+  auto& hooks = assert_detail::flush_hooks();
+  for (auto& slot : hooks) {
+    AssertFlushHook expected = nullptr;
+    if (slot.load(std::memory_order_acquire) == hook) return true;
+    if (slot.compare_exchange_strong(expected, hook, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "ph: assertion failed: %s (%s:%d)%s%s\n", expr, file, line,
                msg ? " — " : "", msg ? msg : "");
-  // Re-entrancy guard: if the flush hook itself asserts (it runs over a
+  // Re-entrancy guard: if a flush hook itself asserts (it runs over a
   // possibly-corrupt process), fall straight through to abort.
   if (!assert_detail::flushing().exchange(true, std::memory_order_acq_rel)) {
-    if (AssertFlushHook hook =
-            assert_detail::flush_hook().load(std::memory_order_acquire)) {
-      hook();
+    for (auto& slot : assert_detail::flush_hooks()) {
+      if (AssertFlushHook hook = slot.load(std::memory_order_acquire)) hook();
     }
   }
   std::abort();

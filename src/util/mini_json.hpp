@@ -1,4 +1,4 @@
-// Minimal recursive-descent JSON parser for test-side validation of the
+// Minimal recursive-descent JSON parser for validation and consumption of the
 // telemetry exporters. Intentionally strict: any deviation from RFC 8259
 // grammar throws, so "the file parses" is a meaningful assertion. Numbers
 // are held as double (adequate for the counter magnitudes under test).
@@ -13,7 +13,7 @@
 #include <variant>
 #include <vector>
 
-namespace ph::testjson {
+namespace ph::minijson {
 
 struct Value;
 using Object = std::map<std::string, Value>;
@@ -225,4 +225,4 @@ class Parser {
 
 inline Value parse(std::string_view text) { return Parser(text).parse(); }
 
-}  // namespace ph::testjson
+}  // namespace ph::minijson

@@ -76,6 +76,11 @@ class ThreadTeam {
     std::lock_guard lk(mu_);
     PH_ASSERT_MSG(pending_ == 0, "ThreadTeam::begin while a phase is active");
     task_ = &fn;
+    // Causal tracing: workers execute this phase under the dispatcher's
+    // trace context, so one sharded cycle's spans stay one family even
+    // across the think/maintenance teams.
+    task_ctx_ = telemetry::trace_ctx();
+    task_tag_ = telemetry::trace_tag();
     pending_ = size_;
     ++epoch_;
     cv_.notify_all();
@@ -107,18 +112,23 @@ class ThreadTeam {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(unsigned)>* task;
+      std::uint64_t ctx;
+      std::uint32_t ctx_tag;
       {
         std::unique_lock lk(mu_);
         cv_.wait(lk, [&] { return epoch_ != seen; });
         seen = epoch_;
         if (stop_) return;
         task = task_;
+        ctx = task_ctx_;
+        ctx_tag = task_tag_;
       }
       testing::sched_point(testing::SchedPoint::kTeamTaskStart);
       // Worker-stall site: a bounded injected delay before the task body,
       // modeling a descheduled/oversubscribed worker. Exercises the barrier
       // backoff ladder and gives the phase watchdog something to catch.
       robustness::maybe_stall(robustness::FailSite::kWorkerStall);
+      telemetry::TraceCtxScope span_ctx(ctx, ctx_tag);
       (*task)(tid);
       testing::sched_point(testing::SchedPoint::kTeamTaskDone);
       {
@@ -133,6 +143,8 @@ class ThreadTeam {
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t task_ctx_ = 0;               ///< dispatcher's trace context
+  std::uint32_t task_tag_ = telemetry::kNoTraceTag;
   std::uint64_t epoch_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;

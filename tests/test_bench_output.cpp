@@ -16,7 +16,7 @@
 #include <sstream>
 #include <string>
 
-#include "mini_json.hpp"
+#include "util/mini_json.hpp"
 
 #ifndef PH_BENCH_CYCLE_SCALING_BIN
 #error "CMake must define PH_BENCH_CYCLE_SCALING_BIN"
@@ -64,7 +64,7 @@ TEST_F(BenchOutput, BinaryExitsCleanly) { EXPECT_EQ(run_status_, 0); }
 
 TEST_F(BenchOutput, MetricsJsonHasPhasePercentilesAndMergedCounters) {
   ASSERT_EQ(run_status_, 0);
-  const auto doc = testjson::parse(slurp(json_path_));
+  const auto doc = minijson::parse(slurp(json_path_));
 
   // Merged counters present for every registered counter name.
   const auto& counters = doc.at("telemetry").at("counters").object();
@@ -114,7 +114,7 @@ TEST_F(BenchOutput, MetricsJsonHasPhasePercentilesAndMergedCounters) {
 
 TEST_F(BenchOutput, ChromeTraceParsesWithBalancedEvents) {
   ASSERT_EQ(run_status_, 0);
-  const auto doc = testjson::parse(slurp(trace_path_));
+  const auto doc = minijson::parse(slurp(trace_path_));
   const auto& events = doc.at("traceEvents").array();
   std::map<double, std::uint64_t> open_per_tid;
   std::uint64_t begins = 0, ends = 0;

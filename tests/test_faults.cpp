@@ -38,6 +38,13 @@ namespace {
 using U64 = std::uint64_t;
 namespace rb = ph::robustness;
 
+// The watchdog's rung-2 verdict now persists the flight-recorder ring; keep
+// those dumps out of the working tree when this binary walks the ladder.
+const bool g_dump_dir_set = [] {
+  obs::FlightRecorder::instance().set_dump_dir(::testing::TempDir());
+  return true;
+}();
+
 /// Every test that arms a site must leave the registry clean even when an
 /// EXPECT fails mid-body.
 struct DisarmGuard {

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
-#include "mini_json.hpp"
+#include "util/mini_json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -176,7 +176,7 @@ TEST(JsonWriter, EscapesAndNests) {
   w.key("arr").begin_array().value(std::uint64_t{7}).value(1.5).value(true).null().end_array();
   w.end_object();
   EXPECT_EQ(w.depth(), 0u);
-  const auto doc = testjson::parse(os.str());
+  const auto doc = minijson::parse(os.str());
   EXPECT_EQ(doc.at("plain").str(), "x");
   EXPECT_EQ(doc.at("quote\"back\\slash").str(), "tab\tnewline\nctl\x01");
   ASSERT_EQ(doc.at("arr").array().size(), 4u);
@@ -251,7 +251,7 @@ TEST(MetricsSnapshot, JsonRoundTrips) {
   std::ostringstream os;
   JsonWriter w(os);
   reg.collect().write_json(w);
-  const auto doc = testjson::parse(os.str());
+  const auto doc = minijson::parse(os.str());
   EXPECT_EQ(doc.at("counters").at("cycles").number(), 3.0);
   const auto& root = doc.at("phases").at("root_work");
   EXPECT_EQ(root.at("count").number(), 4.0);
@@ -283,7 +283,7 @@ TEST(ChromeTrace, EngineRunExportsBalancedSpans) {
 
   std::ostringstream os;
   write_chrome_trace(os);
-  const auto doc = testjson::parse(os.str());
+  const auto doc = minijson::parse(os.str());
   const auto& events = doc.at("traceEvents").array();
 
   const std::set<std::string> known = {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "obs/flight_recorder.hpp"
 #include "persist/recovery.hpp"
 #include "robustness/failpoint.hpp"
 #include "testing/oracle.hpp"
@@ -109,7 +110,13 @@ DurableOptions durable_opts(const std::string& dir, fp::FailSite site) {
   return d;
 }
 
-[[noreturn]] void crash_hook(fp::FailSite) { std::_Exit(42); }
+// Black box first, then die. dump_to_file is noexcept/best-effort, so the
+// kill -9 semantics the drill wants (no destructors, no atexit) survive —
+// one extra file write is the only difference from a raw _Exit.
+[[noreturn]] void crash_hook(fp::FailSite) {
+  ph::obs::FlightRecorder::instance().dump_to_file("ph-crash");
+  std::_Exit(42);
+}
 
 // Child body: run the workload with `site` armed to kill the process.
 // _Exit(0) = ran to completion (the seeded offset never fired); _Exit(42)
@@ -117,6 +124,9 @@ DurableOptions durable_opts(const std::string& dir, fp::FailSite site) {
 [[noreturn]] void child_run(const Options& opt, fp::FailSite site,
                             std::uint64_t seed, const std::string& dir) {
   fp::set_crash_hook(&crash_hook);
+  // Crash-time flight dumps land next to the durable files under test, not
+  // in whatever cwd the harness launched us from.
+  ph::obs::FlightRecorder::instance().set_dump_dir(dir);
   try {
     if (site == fp::FailSite::kRecoverReplay) {
       // Phase A (this child, unarmed): leave a long WAL tail behind.

@@ -14,17 +14,22 @@
 //                                     # registered fail-point site inside a
 //                                     # differential drill; exit 0 iff every
 //                                     # site fired AND recovered/was detected
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/sharded_heap.hpp"
 #include "robustness/fault_matrix.hpp"
+#include "robustness/watchdog.hpp"
 #include "testing/sched_fuzz.hpp"
 #include "testing/stress.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -47,7 +52,11 @@ void usage(const char* argv0) {
                "  --must-fail         invert the exit code: 0 iff failures were found\n"
                "  --failpoint         run the fault matrix instead of the soak: every\n"
                "                      registered fail-point site is fired inside a\n"
-               "                      differential drill (uses --seed/--cycles)\n",
+               "                      differential drill (uses --seed/--cycles)\n"
+               "  --flightrec-smoke   end-to-end black-box drill: fail-point-induced\n"
+               "                      shard quarantine, then a real watchdog stall\n"
+               "                      verdict; exit 0 iff the flight dump was written\n"
+               "                      (path printed; honors $PH_FLIGHTREC_DIR)\n",
                argv0);
 }
 
@@ -74,12 +83,61 @@ std::uint64_t parse_u64(const char* s, const char* what) {
   return v;
 }
 
+/// --flightrec-smoke: drive the whole black-box chain in one process — a
+/// fail-point trips a shard (failpoint_fire + quarantine land in the flight
+/// ring), then an unbeaten watchdog channel crosses a real 1ms stall timeout
+/// and the rung-2 verdict persists the ring. CI parses the printed dump path.
+int run_flightrec_smoke(std::uint64_t seed) {
+  namespace rb = ph::robustness;
+  if (!rb::kFailpoints) {
+    std::fprintf(stderr,
+                 "ph_stress: --flightrec-smoke needs the fail-point sites "
+                 "(build with -DPH_FAILPOINTS=ON)\n");
+    return 2;
+  }
+  ph::ShardedHeap<std::uint64_t>::Config scfg;
+  scfg.shards = 4;
+  scfg.quarantine = true;
+  ph::ShardedHeap<std::uint64_t> q(8, scfg);
+  rb::arm(rb::FailSite::kShardCycle, rb::FireSpec{2, 0, 1, 0});
+  ph::Xoshiro256 rng(seed ? seed : 1);
+  std::vector<std::uint64_t> sink;
+  for (int c = 0; c < 8 && q.sharded_stats().quarantines == 0; ++c) {
+    std::vector<std::uint64_t> fresh(24);
+    for (auto& v : fresh) v = rng.next_below(1u << 20);
+    sink.clear();
+    q.cycle(fresh, 8, sink);
+  }
+  rb::disarm_all();
+  if (q.sharded_stats().quarantines == 0) {
+    std::fprintf(stderr, "flightrec-smoke: fail-point never tripped a shard\n");
+    return 1;
+  }
+
+  rb::PhaseWatchdog::Config wcfg;
+  wcfg.stall_timeout_ns = 1'000'000;  // 1ms: real clock, bounded wait
+  wcfg.dump_after_polls = 1;
+  rb::PhaseWatchdog wd(wcfg);
+  const std::size_t ch = wd.add_channel("smoke-pipeline");
+  wd.beat(ch);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const rb::PhaseWatchdog::PollResult res = wd.poll();
+  const std::string path = wd.last_flight_dump();
+  if (!res.dumped || path.empty()) {
+    std::fprintf(stderr, "flightrec-smoke: stall verdict produced no dump\n");
+    return 1;
+  }
+  std::printf("flightrec-smoke: dump %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ph::testing::StressConfig cfg;
   bool must_fail = false;
   bool failpoint = false;
+  bool flightrec_smoke = false;
   bool sched_fuzz = false;
   std::uint64_t sched_fuzz_seed = 0;
   std::uint64_t sched_fuzz_permille = 200;
@@ -135,6 +193,8 @@ int main(int argc, char** argv) {
       must_fail = true;
     } else if (std::strcmp(a, "--failpoint") == 0) {
       failpoint = true;
+    } else if (std::strcmp(a, "--flightrec-smoke") == 0) {
+      flightrec_smoke = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(argv[0]);
       return 0;
@@ -144,6 +204,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (flightrec_smoke) return run_flightrec_smoke(cfg.seed);
 
   if (failpoint) {
     if (!ph::robustness::kFailpoints) {
