@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/pipelined_heap.hpp"
+#include "obs/flight_recorder.hpp"
 #include "robustness/failpoint.hpp"
 #include "robustness/watchdog.hpp"
 #include "telemetry/telemetry.hpp"
@@ -47,6 +48,14 @@ struct EngineConfig {
   /// counter → stderr dump → optional abort).
   std::uint64_t watchdog_stall_ns = 0;
   bool watchdog_abort = false;  ///< escalate a persistent stall to abort()
+  /// Think-lane quarantine: a lane whose think callback fails this many
+  /// CONSECUTIVE cycles is retired from the round-robin deal for the rest of
+  /// the run (0 = never retire). A retiring lane's batch share is requeued
+  /// like any failed lane's, so heap-multiset conservation is exact; the
+  /// last alive lane is never retired. Each retirement is recorded in the
+  /// flight ring (kLaneQuarantine) and counted by telemetry
+  /// kLaneQuarantines / EngineReport::lanes_quarantined.
+  std::size_t lane_fault_limit = 0;
 };
 
 struct EngineReport {
@@ -58,6 +67,7 @@ struct EngineReport {
   double root_seconds = 0;            ///< driver time in root work
   std::uint64_t think_faults = 0;     ///< think lanes that threw and were requeued
   std::uint64_t watchdog_stalls = 0;  ///< stalled-channel observations
+  std::uint64_t lanes_quarantined = 0;  ///< think lanes retired mid-run
 };
 
 /// HeapT is any heap exposing the pipeline-driver surface
@@ -150,18 +160,26 @@ class ParallelHeapEngine {
     heap_.root_work_public({}, cfg_.batch, batch_out_);
     root.stop();
 
+    const unsigned lanes = static_cast<unsigned>(in_.size());
+    lane_dead_.assign(lanes, std::uint8_t{0});
+    lane_streak_.assign(lanes, 0);
+
     while (!batch_out_.empty()) {
       ++rep.cycles;
       rep.items_processed += batch_out_.size();
       if (wd) wd->beat(driver_ch);
 
-      const unsigned lanes = static_cast<unsigned>(in_.size());
       for (auto& lane : in_) lane->clear();
       for (auto& lane : out_) lane->clear();
       lane_failed_.assign(lanes, std::uint8_t{0});
-      // Round-robin deal, as the paper distributes deleted messages.
+      // Round-robin deal, as the paper distributes deleted messages —
+      // over the lanes still alive (quarantined lanes get nothing).
+      alive_lanes_.clear();
+      for (unsigned t = 0; t < lanes; ++t) {
+        if (lane_dead_[t] == 0) alive_lanes_.push_back(t);
+      }
       for (std::size_t i = 0; i < batch_out_.size(); ++i) {
-        in_[i % lanes]->push_back(batch_out_[i]);
+        in_[alive_lanes_[i % alive_lanes_.size()]]->push_back(batch_out_[i]);
       }
 
       // A think lane that throws — injected kThinkThrow or a real user
@@ -172,6 +190,12 @@ class ParallelHeapEngine {
       // produced partials never escape); conservation of the heap multiset
       // is exact.
       auto think_lane = [&](unsigned tid) {
+        if (lane_dead_[tid] != 0) {
+          // Retired lane: keep its heartbeat alive (an idle channel is not
+          // a stalled one) but run nothing.
+          if (wd) wd->beat(think_ch_[tid]);
+          return;
+        }
         telemetry::SpanScope span(telemetry::Phase::kThink);
         telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
         if (wd) wd->beat(think_ch_[tid]);
@@ -209,7 +233,9 @@ class ParallelHeapEngine {
       }
 
       new_items_.clear();
+      unsigned alive = static_cast<unsigned>(alive_lanes_.size());
       for (unsigned tid = 0; tid < lanes; ++tid) {
+        if (lane_dead_[tid] != 0) continue;
         if (lane_failed_[tid] != 0) {
           ++rep.think_faults;
           telemetry::count(telemetry::Counter::kThinkFaults);
@@ -217,8 +243,22 @@ class ParallelHeapEngine {
           if (lane_failed_[tid] == 2) {
             robustness::note_recovery(robustness::FailSite::kThinkThrow);
           }
+          // Burn-down of the flapping-lane bug: a lane that fails
+          // lane_fault_limit cycles IN A ROW is retired from the deal (its
+          // share above was already requeued to the healthy lanes' next
+          // cycle). Never the last alive lane — degraded beats dead.
+          ++lane_streak_[tid];
+          if (cfg_.lane_fault_limit != 0 && alive > 1 &&
+              lane_streak_[tid] >= cfg_.lane_fault_limit) {
+            lane_dead_[tid] = 1;
+            --alive;
+            ++rep.lanes_quarantined;
+            telemetry::count(telemetry::Counter::kLaneQuarantines);
+            obs::flight(obs::FlightKind::kLaneQuarantine, tid, lane_streak_[tid]);
+          }
           continue;
         }
+        lane_streak_[tid] = 0;
         new_items_.insert(new_items_.end(), out_[tid]->begin(), out_[tid]->end());
       }
 
@@ -240,6 +280,18 @@ class ParallelHeapEngine {
       rep.watchdog_stalls = wd->stalls();
     }
     return rep;
+  }
+
+  /// One externally-driven insert-delete cycle with no think phase: root
+  /// work on the caller's thread, then both half-steps on the maintenance
+  /// team when configured. This is the surface the differential harness
+  /// registers ("engine_team"): the engine's own maintenance parallelism,
+  /// pinned bit-exact against the serial pipelined heap. Not for use
+  /// concurrently with run().
+  std::size_t cycle(std::span<const T> fresh, std::size_t k, std::vector<T>& out) {
+    const std::size_t got = heap_.root_work_public(fresh, k, out);
+    advance_both();
+    return got;
   }
 
  private:
@@ -274,6 +326,9 @@ class ParallelHeapEngine {
   std::vector<Padded<std::vector<T>>> in_, out_;
   std::vector<T> batch_out_, new_items_;
   std::vector<std::uint8_t> lane_failed_;  ///< per-lane; read after team join
+  std::vector<std::uint8_t> lane_dead_;    ///< quarantined lanes (this run)
+  std::vector<std::uint32_t> lane_streak_; ///< consecutive failures per lane
+  std::vector<unsigned> alive_lanes_;      ///< deal targets, rebuilt per cycle
   std::vector<std::size_t> think_ch_;      ///< watchdog channel ids per lane
   std::function<void(unsigned)> think_fn_;
   std::atomic<bool> stop_requested_{false};

@@ -113,6 +113,19 @@ class PipelinedParallelHeap {
   /// Pending update processes (0 when quiescent).
   std::size_t inflight() const noexcept { return inflight_; }
 
+  /// The root node's stored items, ascending. Stable across the odd
+  /// half-step: advance(1) services only odd levels and a level-1 process
+  /// writes nodes at levels 1 and 2 — never node 0 — so a view taken at
+  /// cycle entry still describes the root the next root_work() will merge
+  /// against. By the paper's delete-correctness theorem the k ≤ r smallest
+  /// of (heap ∪ new) lie within (root ∪ new), which makes this span a sound
+  /// per-shard candidate bound for the sharded front end's cross-shard min
+  /// hint (sharded_heap.hpp).
+  std::span<const T> root_items() const noexcept {
+    return cnt_.empty() ? std::span<const T>{}
+                        : std::span<const T>{arena_.data(), cnt_[0]};
+  }
+
   /// Replaces the content with `items` in one O(n log n) bulk load (sorted
   /// breadth-first layout; see ParallelHeap::build). Any in-flight
   /// processes are discarded together with the old content.

@@ -67,6 +67,7 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kRecoveryStart: return "recovery_start";
     case FlightKind::kRecoveryDone: return "recovery_done";
     case FlightKind::kNote: return "note";
+    case FlightKind::kLaneQuarantine: return "lane_quarantine";
     case FlightKind::kCount: break;
   }
   return "unknown";

@@ -55,6 +55,7 @@ enum class FlightKind : std::uint8_t {
   kRecoveryStart,     ///< recovery pass began
   kRecoveryDone,      ///< recovery pass finished; a=op seq, b=records replayed
   kNote,              ///< freeform marker; a/b caller-defined
+  kLaneQuarantine,    ///< engine think lane retired; a=lane id, b=consecutive faults
   kCount
 };
 inline constexpr std::size_t kNumFlightKinds =

@@ -24,6 +24,8 @@ struct EngineSimConfig {
   unsigned think_threads = 1;
   unsigned maintenance_threads = 0;
   bool pin_threads = false;
+  std::size_t batch = 0;            ///< k per cycle; 0 → node_capacity
+  std::size_t lane_fault_limit = 0; ///< retire a lane after this many straight faults
 };
 
 struct EngineSimResult {
@@ -38,6 +40,8 @@ inline EngineSimResult run_engine_sim(const Model& model, double end_time,
   ecfg.think_threads = cfg.think_threads;
   ecfg.maintenance_threads = cfg.maintenance_threads;
   ecfg.pin_threads = cfg.pin_threads;
+  ecfg.batch = cfg.batch;
+  ecfg.lane_fault_limit = cfg.lane_fault_limit;
   ParallelHeapEngine<Event, EventOrder> engine(ecfg);
 
   {

@@ -49,6 +49,8 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kMaintService: return "maint_service";
     case Phase::kShardRoute: return "shard_route";
     case Phase::kShardMerge: return "shard_merge";
+    case Phase::kShardPull: return "shard_pull";
+    case Phase::kShardPutback: return "shard_putback";
     case Phase::kCkptWrite: return "ckpt_write";
     case Phase::kWalAppend: return "wal_append";
     case Phase::kWalFsync: return "wal_fsync";
@@ -82,6 +84,9 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kWalFsyncs: return "wal_fsyncs";
     case Counter::kWalReplayed: return "wal_replayed";
     case Counter::kRecoveries: return "recoveries";
+    case Counter::kShardHintSkips: return "shard_hint_skips";
+    case Counter::kShardParallelCycles: return "shard_parallel_cycles";
+    case Counter::kLaneQuarantines: return "lane_quarantines";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -41,6 +41,8 @@ enum class Phase : unsigned {
   kMaintService,    ///< one maintenance worker's share of a half-step
   kShardRoute,      ///< sharded front end splitting a batch by key range
   kShardMerge,      ///< K-way tournament over per-shard prefixes
+  kShardPull,       ///< one worker's stint of the concurrent per-shard pulls
+  kShardPutback,    ///< returning losing prefix suffixes to their shards
   kCkptWrite,       ///< serializing + publishing one durable checkpoint
   kWalAppend,       ///< appending (and per-policy fsyncing) one WAL record
   kWalFsync,        ///< one fsync(2) issued by the WAL writer (latency source)
@@ -74,6 +76,9 @@ enum class Counter : unsigned {
   kWalFsyncs,        ///< fsync(2) calls issued by the WAL writer
   kWalReplayed,      ///< WAL records applied during recovery
   kRecoveries,       ///< completed recovery passes (DurableHeap opens)
+  kShardHintSkips,   ///< shard pulls skipped by the cross-shard min hint
+  kShardParallelCycles, ///< sharded cycles whose pulls ran on the worker team
+  kLaneQuarantines,  ///< engine think lanes retired after repeated failures
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

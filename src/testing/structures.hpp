@@ -23,6 +23,7 @@
 
 #include "baselines/binary_heap.hpp"
 #include "baselines/calendar_queue.hpp"
+#include "baselines/flat_combining_pq.hpp"
 #include "baselines/dary_heap.hpp"
 #include "baselines/leftist_heap.hpp"
 #include "baselines/local_heaps.hpp"
@@ -30,6 +31,7 @@
 #include "baselines/pairing_heap.hpp"
 #include "baselines/pq_concepts.hpp"
 #include "baselines/skew_heap.hpp"
+#include "core/engine.hpp"
 #include "core/parallel_heap.hpp"
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
@@ -233,6 +235,83 @@ class EnginePipelineAdapter {
   std::vector<Heap::ServiceCtx> ctx_;
 };
 
+/// The engine's public batch surface (engine.hpp cycle()): root work through
+/// the engine, then both maintenance half-steps dispatched across its own
+/// maintenance ThreadTeam. Unlike EnginePipelineAdapter — which rebuilds the
+/// dispatch by hand around a bare heap — this drives ParallelHeapEngine
+/// itself, so the engine's worker assignment, trace spans, and watchdog
+/// plumbing all sit inside the differentially-tested path. Deletion stream
+/// must stay bit-identical to "pipelined_heap".
+class EngineTeamAdapter {
+ public:
+  explicit EngineTeamAdapter(std::size_t r, unsigned maint = 2)
+      : eng_(make_cfg(r, maint)) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    return eng_.cycle(fresh, k, out);
+  }
+
+  bool check_invariants(std::string* why) {
+    return eng_.heap().check_invariants(why);
+  }
+
+ private:
+  static EngineConfig make_cfg(std::size_t r, unsigned maint) {
+    EngineConfig c;
+    c.node_capacity = r;
+    c.think_threads = 0;  // no think team: cycle() is the driver here
+    c.maintenance_threads = maint;
+    return c;
+  }
+
+  ParallelHeapEngine<std::uint64_t> eng_;
+};
+
+/// FlatCombiningPQ under real thread concurrency, same two-phase shape as
+/// MtLocalHeapsAdapter: the team pushes the batch through per-thread
+/// combining slots, barrier, then pops its fair split of k. Every pop is the
+/// true global minimum at its combine-pass linearization point, but which
+/// thread receives which item — and hence the output order — is
+/// schedule-dependent, so this runs under relaxed (conservation) checking.
+/// The barrier between phases makes the *count* exact: nothing is pushed
+/// during the pop phase, so the heap drains monotonically and the batch
+/// totals min(k, size) on every schedule.
+class FlatCombiningMtAdapter {
+ public:
+  explicit FlatCombiningMtAdapter(std::size_t /*r*/, unsigned threads = 2)
+      : q_(threads), team_(threads, /*pin=*/false, "stress-fc"),
+        per_thread_(threads) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    const unsigned mt = team_.size();
+    team_.run([&](unsigned tid) {
+      for (std::size_t i = tid; i < fresh.size(); i += mt) q_.push(tid, fresh[i]);
+    });
+    team_.run([&](unsigned tid) {
+      auto& mine = per_thread_[tid];
+      mine.clear();
+      for (std::size_t i = tid; i < k; i += mt) {
+        std::uint64_t v = 0;
+        if (!q_.try_pop(tid, v)) break;
+        mine.push_back(v);
+      }
+    });
+    std::size_t n = 0;
+    for (const auto& mine : per_thread_) {
+      out.insert(out.end(), mine.begin(), mine.end());
+      n += mine.size();
+    }
+    return n;
+  }
+
+ private:
+  FlatCombiningPQ<std::uint64_t> q_;
+  ThreadTeam team_;
+  std::vector<std::vector<std::uint64_t>> per_thread_;
+};
+
 /// DurableHeap over the pipelined heap, with the recovery path itself inside
 /// the soak loop: every `reopen_every` cycles the adapter CLOSES the durable
 /// heap and re-opens it from disk (checkpoint load + WAL replay), so a long
@@ -289,8 +368,9 @@ inline const std::vector<std::string>& default_structures() {
       "pipelined_heap_mt",  "stable_heap",        "locked_binary_heap",
       "batch_binary_heap",  "batch_dary4_heap",   "batch_skew_heap",
       "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue",
-      "sharded_heap",       "engine_pipeline",    "local_heaps",
-      "local_heaps_mt",     "durable_pipelined"};
+      "sharded_heap",       "sharded_heap_conc",  "sharded_heap_crew",
+      "engine_pipeline",    "engine_team",        "local_heaps",
+      "local_heaps_mt",     "flat_combining_mt",  "durable_pipelined"};
   return names;
 }
 
@@ -381,9 +461,31 @@ inline DiffFailure run_trace(const OpTrace& t) {
                                                      /*sample_capacity=*/1024});
     return run_differential(q, t, opt);
   }
+  if (s == "sharded_heap_conc" || s == "sharded_heap_crew") {
+    // The PR7 concurrency paths, pinned bit-exact against the oracle:
+    // "conc" runs 2 workers over 3 shards (striped assignment, one worker
+    // serially cycling its shards); "crew" runs 5 workers over 3 shards so
+    // every shard gets a multi-worker crew and the odd/even level split
+    // crosses the SenseBarrier publication protocol each cycle. Both overlap
+    // putback with the caller (quiesce handshake) and use the min hint.
+    opt.invariant_stride = 64;
+    ShardedHeap<U64>::Config c;
+    c.shards = 3;
+    c.rebalance_interval = 16;
+    c.sample_capacity = 1024;
+    c.workers = (s == "sharded_heap_crew") ? 5 : 2;
+    c.overlap_putback = true;
+    ShardedHeap<U64> q(t.r, c);
+    return run_differential(q, t, opt);
+  }
   if (s == "engine_pipeline") {
     opt.invariant_stride = 64;
     EnginePipelineAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "engine_team") {
+    opt.invariant_stride = 64;
+    EngineTeamAdapter q(t.r);
     return run_differential(q, t, opt);
   }
   if (s == "local_heaps") {
@@ -394,6 +496,11 @@ inline DiffFailure run_trace(const OpTrace& t) {
   if (s == "local_heaps_mt") {
     opt.relaxed = true;
     MtLocalHeapsAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "flat_combining_mt") {
+    opt.relaxed = true;  // exact pops, schedule-dependent output order
+    FlatCombiningMtAdapter q(t.r);
     return run_differential(q, t, opt);
   }
   if (s == "durable_pipelined") {

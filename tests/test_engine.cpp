@@ -1,6 +1,6 @@
 // Tests for the multithreaded ParallelHeapEngine: batch delivery order,
-// determinism across team sizes, overlap plumbing, and the maintenance-team
-// parallel path.
+// determinism across team sizes, overlap plumbing, the maintenance-team
+// parallel path, think-lane quarantine, and the public cycle() surface.
 #include "core/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -9,8 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "testing/oracle.hpp"
 #include "util/rng.hpp"
 
 namespace ph {
@@ -220,6 +223,102 @@ TEST(Engine, SmallBatchConfig) {
   std::sort(seen.begin(), seen.end());
   std::sort(items.begin(), items.end());
   EXPECT_EQ(seen, items);
+}
+
+TEST(Engine, QuarantineRetiresFlappingLaneAndConservesItems) {
+  // Lane 1 throws on every cycle. After lane_fault_limit consecutive faults
+  // it is retired from the deal; each failed share was requeued, so every
+  // seeded item is eventually thought — exactly once, by a healthy lane —
+  // and the heap drains empty.
+  EngineConfig cfg;
+  cfg.node_capacity = 16;
+  cfg.think_threads = 2;
+  cfg.lane_fault_limit = 3;
+  Engine eng(cfg);
+  auto items = random_items(200, 8);
+  eng.seed(items);
+
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  const EngineReport rep = eng.run(
+      [&](unsigned tid, std::span<const std::uint64_t> mine,
+          std::span<const std::uint64_t>, std::vector<std::uint64_t>&) {
+        if (tid == 1) throw std::runtime_error("flapping lane");
+        std::lock_guard lk(mu);
+        seen.insert(seen.end(), mine.begin(), mine.end());
+      });
+
+  EXPECT_EQ(rep.lanes_quarantined, 1u);
+  EXPECT_GE(rep.think_faults, 3u);  // at least the streak that retired it
+  EXPECT_TRUE(eng.heap().empty());
+  std::sort(seen.begin(), seen.end());
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(seen, items);  // no loss, no duplication across the requeues
+
+  // The retirement left a black-box record in the flight ring.
+  bool recorded = false;
+  for (const auto& ev : obs::FlightRecorder::instance().snapshot()) {
+    if (ev.kind == obs::FlightKind::kLaneQuarantine && ev.a == 1) {
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded);
+}
+
+TEST(Engine, LastAliveLaneIsNeverQuarantined) {
+  // A single lane that always fails must keep flapping (degraded beats
+  // dead): no quarantine, and the max_items bound — which counts failed
+  // shares — still terminates the run.
+  EngineConfig cfg;
+  cfg.node_capacity = 8;
+  cfg.think_threads = 1;
+  cfg.lane_fault_limit = 2;
+  Engine eng(cfg);
+  eng.seed(random_items(64, 9));
+  const EngineReport rep = eng.run(
+      [&](unsigned, std::span<const std::uint64_t>, std::span<const std::uint64_t>,
+          std::vector<std::uint64_t>&) -> void {
+        throw std::runtime_error("always failing");
+      },
+      /*max_items=*/500);
+  EXPECT_EQ(rep.lanes_quarantined, 0u);
+  EXPECT_GT(rep.think_faults, cfg.lane_fault_limit);
+  EXPECT_EQ(eng.heap().size(), 64u);  // every share was requeued
+}
+
+TEST(Engine, CycleApiMatchesOracleWithMaintenanceTeam) {
+  // The public batch surface (cycle()) drives the engine's own maintenance
+  // team; its deletion stream must match the sorted-multiset oracle exactly.
+  EngineConfig cfg;
+  cfg.node_capacity = 8;
+  cfg.think_threads = 0;
+  cfg.maintenance_threads = 2;
+  Engine eng(cfg);
+  testing::SortedOracle oracle;
+  Xoshiro256 rng(10);
+  std::vector<std::uint64_t> got, want, fresh;
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    fresh.clear();
+    for (std::size_t i = rng.next_below(10); i > 0; --i) {
+      fresh.push_back(rng.next_below(1u << 18));
+    }
+    const std::size_t k = rng.next_below(9);
+    got.clear();
+    want.clear();
+    eng.cycle(fresh, k, got);
+    oracle.cycle(fresh, k, want);
+    ASSERT_EQ(got, want) << "cycle " << cycle;
+  }
+  for (;;) {
+    got.clear();
+    want.clear();
+    const std::size_t ne = eng.cycle({}, 8, got);
+    const std::size_t no = oracle.cycle({}, 8, want);
+    ASSERT_EQ(got, want);
+    if (ne == 0 && no == 0) break;
+  }
+  std::string why;
+  EXPECT_TRUE(eng.heap().check_invariants(&why)) << why;
 }
 
 TEST(Engine, ReportsPhaseTimes) {
