@@ -17,6 +17,7 @@
 // json_metric().
 #pragma once
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -179,15 +180,33 @@ inline void parse_args(int& argc, char** argv) {
   // Live observability plane: --metrics-file writes snapshots at a cadence
   // (.json → JSON, else Prometheus text); --metrics-port serves them over
   // localhost HTTP (0 = ephemeral, the bound port is announced on stderr).
+  // Like the --json= empty-path check above: a typo'd number must not
+  // silently become port 0 (ephemeral!) or a default cadence — reject the
+  // whole flag loudly instead, even when the flag alone starts no publisher.
+  // Full-consumption strtol + range check.
+  auto parse_long = [](const char* flag, const std::string& text, long lo,
+                       long hi) -> long {
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || v < lo || v > hi) {
+      std::fprintf(stderr, "bench: %s requires an integer in [%ld, %ld], got '%s'\n",
+                   flag, lo, hi, text.c_str());
+      std::exit(2);
+    }
+    return v;
+  };
+  obs::SnapshotPublisher::Config pc;
+  pc.file_path = metrics_file;
+  if (!metrics_port.empty()) {
+    pc.port = static_cast<int>(parse_long("--metrics-port", metrics_port, 0, 65535));
+  }
+  if (!metrics_period.empty()) {
+    pc.period_ms = static_cast<unsigned>(
+        parse_long("--metrics-period-ms", metrics_period, 1, 3'600'000));
+  }
   // Either alone suffices; a failed bind warns and the bench runs on.
   if (!metrics_file.empty() || !metrics_port.empty()) {
-    obs::SnapshotPublisher::Config pc;
-    pc.file_path = metrics_file;
-    if (!metrics_port.empty()) pc.port = std::atoi(metrics_port.c_str());
-    if (!metrics_period.empty()) {
-      const int ms = std::atoi(metrics_period.c_str());
-      pc.period_ms = ms > 0 ? static_cast<unsigned>(ms) : 1u;
-    }
     publisher() = std::make_unique<obs::SnapshotPublisher>(pc);
     if (!publisher()->start()) {
       std::fprintf(stderr, "bench: metrics publisher failed to start (port %s)\n",

@@ -197,12 +197,15 @@ class ParallelHeapEngine {
           return;
         }
         telemetry::SpanScope span(telemetry::Phase::kThink);
-        telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
         if (wd) wd->beat(think_ch_[tid]);
         try {
           robustness::fire_fault(robustness::FailSite::kThinkThrow);
           think(tid, std::span<const T>(*in_[tid]), std::span<const T>(batch_out_),
                 *out_[tid]);
+          // Counted only on success: a faulting lane's share is requeued and
+          // re-dealt, so counting at delivery would tally the same items once
+          // per retry and kThinkItems would drift past items_processed.
+          telemetry::count(telemetry::Counter::kThinkItems, in_[tid]->size());
         } catch (const robustness::InjectedFailure&) {
           out_[tid]->clear();
           lane_failed_[tid] = 2;  // injected: counts as a verified recovery
@@ -258,7 +261,12 @@ class ParallelHeapEngine {
           }
           continue;
         }
-        lane_streak_[tid] = 0;
+        // A cycle where the lane received no items (fewer batch items than
+        // alive lanes) proves nothing about its health — resetting here would
+        // let a flapping lane evade quarantine forever whenever requeues
+        // shrink the batch below the lane count. Only a *successful think on
+        // actual work* clears the streak.
+        if (!in_[tid]->empty()) lane_streak_[tid] = 0;
         new_items_.insert(new_items_.end(), out_[tid]->begin(), out_[tid]->end());
       }
 

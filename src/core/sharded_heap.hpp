@@ -263,7 +263,12 @@ class ShardedHeap {
         quiesce();
       } catch (...) {
         // A worker exception with no cycle left to surface it in; the
-        // structure is being torn down anyway.
+        // structure is being torn down anyway. Throwing out of a destructor
+        // is std::terminate, so the failure is swallowed — but not silently:
+        // the flight ring keeps the causal record for the post-mortem dump.
+        obs::flight(obs::FlightKind::kTeardownError,
+                    static_cast<std::uint64_t>(
+                        robustness::FailSite::kShardPutback));
       }
     }
   }
@@ -563,8 +568,12 @@ class ShardedHeap {
     // order-sensitive), deadlines (the pulled prefix doubles as quarantine
     // candidate set), or a phase-0 recovery run — take the serial loop with
     // full budgets; everything else may use the min hint and the team.
-    const bool cold = robustness::any_armed() || cfg_.cycle_deadline_ns > 0 ||
-                      !recovery_.empty();
+    // kShardPutback is excluded from the gate: it exists to fault the TEAM
+    // putback path, which a cold cycle would never reach.
+    const bool cold =
+        robustness::any_armed_except(
+            robustness::site_bit(robustness::FailSite::kShardPutback)) ||
+        cfg_.cycle_deadline_ns > 0 || !recovery_.empty();
     compute_pull_budgets(k, cold);
     const bool on_team = team_ != nullptr && !cold;
     if (on_team) {
@@ -672,6 +681,7 @@ class ShardedHeap {
       if (put_total > 0) {
         stats_.putbacks += put_total;
         telemetry::count(telemetry::Counter::kShardPutbacks, put_total);
+        putback_done_.assign(shards_.size(), std::uint8_t{0});
         putback_fn_ = [this](unsigned w) { putback_worker(w); };
         if (cfg_.overlap_putback) {
           // Overlap handshake, dispatch side: hand phase 4 to the team and
@@ -683,6 +693,7 @@ class ShardedHeap {
           return taken;
         }
         team_->run(putback_fn_);
+        recover_deferred_putbacks();
         rethrow_worker_exc();
       }
     } else {
@@ -736,6 +747,7 @@ class ShardedHeap {
     if (!putback_pending_ || team_ == nullptr) return;
     putback_pending_ = false;
     team_->wait();
+    recover_deferred_putbacks();
     rethrow_worker_exc();
     if (cfg_.rebalance_interval != 0 &&
         stats_.cycles % cfg_.rebalance_interval == 0) {
@@ -1015,12 +1027,62 @@ class ShardedHeap {
       const auto rest = std::span<const T>(pulled_[s]).subspan(take_[s]);
       worker_sink_[w].clear();
       try {
+        // Fires BEFORE the shard cycle, so an injected fault leaves the
+        // shard untouched and its suffix intact — the handshake can retry
+        // the slot serially (recover_deferred_putbacks).
+        robustness::fire_fault(robustness::FailSite::kShardPutback);
         shards_[s].cycle(rest, 0, worker_sink_[w]);
+        putback_done_[s] = 1;
       } catch (...) {
         if (!worker_exc_[w]) worker_exc_[w] = std::current_exception();
       }
     }
     note_worker_busy(w, busy.nanos());
+  }
+
+  /// Completion-side repair for faulted team putbacks: if every stashed
+  /// worker exception is an injected fault (real exceptions still surface
+  /// via rethrow_worker_exc), retry the unfinished slots serially on the
+  /// driver. Worker stripes are disjoint and the team has joined, so
+  /// putback_done_ is safely readable here. Each retry still evaluates the
+  /// fail-point; a site armed beyond the retry budget leaves one injected
+  /// failure stashed for the caller (the destructor path swallows it and
+  /// records kTeardownError instead).
+  void recover_deferred_putbacks() {
+    bool faulted = false;
+    for (const auto& e : worker_exc_) {
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const robustness::InjectedFailure&) {
+        faulted = true;
+      } catch (...) {
+        return;  // a real failure: leave everything for rethrow_worker_exc
+      }
+    }
+    if (!faulted) return;
+    for (auto& e : worker_exc_) e = nullptr;
+    for (const std::size_t s : cycle_slots_) {
+      if (take_[s] >= pulled_[s].size() || putback_done_[s] != 0) continue;
+      const auto rest = std::span<const T>(pulled_[s]).subspan(take_[s]);
+      bool ok = false;
+      for (int attempt = 0; attempt < 64 && !ok; ++attempt) {
+        sink_.clear();
+        try {
+          robustness::fire_fault(robustness::FailSite::kShardPutback);
+          shards_[s].cycle(rest, 0, sink_);
+          ok = true;
+        } catch (const robustness::InjectedFailure&) {
+        }
+      }
+      if (!ok) {
+        worker_exc_[0] = std::make_exception_ptr(
+            robustness::InjectedFault(robustness::FailSite::kShardPutback));
+        return;
+      }
+      putback_done_[s] = 1;
+      robustness::note_recovery(robustness::FailSite::kShardPutback);
+    }
   }
 
   /// Surfaces the first stashed worker exception (driver thread, after a
@@ -1193,6 +1255,7 @@ class ShardedHeap {
   std::unique_ptr<ThreadTeam> team_;
   std::vector<std::exception_ptr> worker_exc_;  ///< first failure per worker
   std::vector<std::vector<T>> worker_sink_;     ///< per-worker putback sinks
+  std::vector<std::uint8_t> putback_done_;      ///< per-shard putback landed
   std::function<void(unsigned)> pull_fn_, putback_fn_;
   bool putback_pending_ = false;                ///< overlap handshake open
   std::uint64_t pending_cycle_ns_ = 0;          ///< cycle timer at dispatch

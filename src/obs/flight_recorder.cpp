@@ -68,6 +68,8 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kRecoveryDone: return "recovery_done";
     case FlightKind::kNote: return "note";
     case FlightKind::kLaneQuarantine: return "lane_quarantine";
+    case FlightKind::kIngestFlush: return "ingest_flush";
+    case FlightKind::kTeardownError: return "teardown_error";
     case FlightKind::kCount: break;
   }
   return "unknown";

@@ -56,6 +56,8 @@ enum class FlightKind : std::uint8_t {
   kRecoveryDone,      ///< recovery pass finished; a=op seq, b=records replayed
   kNote,              ///< freeform marker; a/b caller-defined
   kLaneQuarantine,    ///< engine think lane retired; a=lane id, b=consecutive faults
+  kIngestFlush,       ///< ingest staging buffers flushed; a=runs, b=items
+  kTeardownError,     ///< a destructor swallowed a deferred failure; a=source tag
   kCount
 };
 inline constexpr std::size_t kNumFlightKinds =

@@ -38,6 +38,15 @@
 //       double crash: recovery that dies mid-replay (injected) leaves the
 //       directory exactly as recoverable — a second recovery reaches the
 //       identical state, verified by draining against a fault-free oracle.
+//   ingest_flush
+//       conservation under producer death: a flush sweep that dies between
+//       slot drains restages the in-flight buffer; no staged item is ever
+//       lost or duplicated (admission may lag a cycle, so the drill runs
+//       under bounded-lag conservation, not stream equality).
+//   shard_putback
+//       deferred-path repair: an injected failure on a team putback worker
+//       is retried serially at the quiesce handshake — the suffix lands,
+//       and the stream stays EXACT.
 //
 // (In-process, these crash sites throw InjectedFault — the exception shape
 // every drill can roll back from. The ph_crash tool additionally drives the
@@ -511,13 +520,60 @@ inline FaultSiteResult recover_replay_drill(const FaultMatrixConfig& cfg) {
   return finish(FailSite::kRecoverReplay, true, "");
 }
 
+/// Producer-death drill: injected kIngestFlush failures abort the staging
+/// sweep mid-flush; the restage path must conserve every item (admission may
+/// lag the faulted cycles, so the check is bounded-lag conservation plus
+/// final-drain convergence).
+inline FaultSiteResult ingest_flush_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kIngestFlush);
+  ingest::IngestConfig ic;
+  ic.producers = 4;
+  testing::IngestTierAdapter<PipelinedParallelHeap<U64>> q(
+      PipelinedParallelHeap<U64>(cfg.r), ic);
+  arm(FailSite::kIngestFlush,
+      FireSpec{/*nth=*/3, /*period=*/5, /*max_fires=*/25, /*stall_us=*/0});
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  opt.relaxed = true;
+  opt.bounded_lag = true;  // a faulted flush lawfully defers admission
+  const testing::DiffFailure f = testing::run_differential(q, trace, opt);
+  const bool ok = !f.failed;
+  return finish(FailSite::kIngestFlush, ok,
+                ok ? "" : "items lost/duplicated across flush faults: " + f.message);
+}
+
+/// Deferred-putback drill: the overlapped team putback faults (injected),
+/// the quiesce handshake retries the unfinished shards serially, and the
+/// deletion stream must stay EXACT — the fault is fully absorbed.
+inline FaultSiteResult shard_putback_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kShardPutback);
+  using SH = ShardedHeap<U64>;
+  SH::Config scfg;
+  scfg.shards = 3;
+  scfg.rebalance_interval = 16;
+  scfg.workers = 2;
+  scfg.overlap_putback = true;
+  scfg.min_hint = false;  // every shard putback must actually run
+  SH q(cfg.r, scfg);
+  arm(FailSite::kShardPutback,
+      FireSpec{/*nth=*/2, /*period=*/3, /*max_fires=*/20, /*stall_us=*/0});
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(q, trace, opt);
+  const bool ok = !f.failed;
+  return finish(FailSite::kShardPutback, ok,
+                ok ? "" : "stream diverged across putback retries: " + f.message);
+}
+
 }  // namespace fm_detail
 
 /// Runs every site's drill; see the file comment for the per-site contracts.
 inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
                                           std::ostream* log = nullptr) {
   FaultMatrixReport rep;
-  static_assert(kNumFailSites == 12, "new FailSite needs a fault-matrix drill");
+  static_assert(kNumFailSites == 14, "new FailSite needs a fault-matrix drill");
 
   rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
       cfg, FailSite::kRootAlloc,
@@ -544,6 +600,8 @@ inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
       cfg, FailSite::kWalFsync,
       FireSpec{/*nth=*/6, /*period=*/29, /*max_fires=*/12, /*stall_us=*/0}));
   rep.rows.push_back(fm_detail::recover_replay_drill(cfg));
+  rep.rows.push_back(fm_detail::ingest_flush_drill(cfg));
+  rep.rows.push_back(fm_detail::shard_putback_drill(cfg));
 
   if (log) {
     for (const FaultSiteResult& r : rep.rows) {

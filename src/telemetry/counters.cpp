@@ -55,6 +55,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kWalAppend: return "wal_append";
     case Phase::kWalFsync: return "wal_fsync";
     case Phase::kRecoverReplay: return "recover_replay";
+    case Phase::kIngestFlush: return "ingest_flush";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -87,6 +88,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kShardHintSkips: return "shard_hint_skips";
     case Counter::kShardParallelCycles: return "shard_parallel_cycles";
     case Counter::kLaneQuarantines: return "lane_quarantines";
+    case Counter::kIngestStaged: return "ingest_staged";
+    case Counter::kIngestRuns: return "ingest_runs";
+    case Counter::kIngestAdmitted: return "ingest_admitted";
+    case Counter::kIngestDeferred: return "ingest_deferred";
     case Counter::kCount: break;
   }
   return "unknown";

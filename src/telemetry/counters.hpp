@@ -47,6 +47,7 @@ enum class Phase : unsigned {
   kWalAppend,       ///< appending (and per-policy fsyncing) one WAL record
   kWalFsync,        ///< one fsync(2) issued by the WAL writer (latency source)
   kRecoverReplay,   ///< full recovery pass: load checkpoint + replay WAL tail
+  kIngestFlush,     ///< draining staged producer buffers into sorted runs
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -60,7 +61,8 @@ enum class Counter : unsigned {
   kProcsSpawned,
   kProcsServiced,
   kSteals,
-  kThinkItems,
+  kThinkItems,       ///< items successfully thought (requeued shares recount
+                     ///< only when re-thought, never at delivery)
   kHalfSteps,
   kShardRouted,      ///< items routed across shards by the partition map
   kShardPutbacks,    ///< pulled-but-untaken prefix items returned to shards
@@ -79,6 +81,10 @@ enum class Counter : unsigned {
   kShardHintSkips,   ///< shard pulls skipped by the cross-shard min hint
   kShardParallelCycles, ///< sharded cycles whose pulls ran on the worker team
   kLaneQuarantines,  ///< engine think lanes retired after repeated failures
+  kIngestStaged,     ///< items staged into producer buffers (ingest tier)
+  kIngestRuns,       ///< sorted runs coalesced out of the staging buffers
+  kIngestAdmitted,   ///< staged items admitted into the inner heap's cycle
+  kIngestDeferred,   ///< run-cycles spent pending under bounded staleness
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

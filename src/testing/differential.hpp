@@ -43,6 +43,12 @@ struct DiffOptions {
   std::size_t invariant_stride = 0;
   /// Conservation-only checking for relaxed-ordering structures (see above).
   bool relaxed = false;
+  /// With relaxed: allow a cycle to delete FEWER than min(k, size) items —
+  /// for structures that may lawfully hold items back for a bounded number
+  /// of cycles (the ingest tier's bounded-staleness mode). Fabrication and
+  /// loss are still caught (every deletion must be live, the final drain
+  /// must converge to empty), only the per-cycle count check is one-sided.
+  bool bounded_lag = false;
 };
 
 struct DiffFailure {
@@ -93,10 +99,14 @@ class ConservationOracle {
 
   /// Checks `got` for a cycle with deletion budget `k`; erases the consumed
   /// items. Returns empty string on success, else the failure description.
-  std::string consume(const std::vector<std::uint64_t>& got, std::size_t k) {
+  /// `allow_short` relaxes the count check to got.size() <= min(k, size)
+  /// for bounded-staleness structures (items may lawfully lag admission).
+  std::string consume(const std::vector<std::uint64_t>& got, std::size_t k,
+                      bool allow_short = false) {
     const std::size_t want_n = std::min(k, live_.size());
-    if (got.size() != want_n) {
-      return "deleted " + std::to_string(got.size()) + " items, expected min(k, size) = " +
+    if (allow_short ? got.size() > want_n : got.size() != want_n) {
+      return "deleted " + std::to_string(got.size()) + " items, expected " +
+             (allow_short ? "at most " : "") + "min(k, size) = " +
              std::to_string(want_n);
     }
     for (std::uint64_t v : got) {
@@ -140,7 +150,7 @@ DiffFailure run_differential(Q& q, const OpTrace& trace, const DiffOptions& opt 
     q.cycle(fresh, k, got);
     if (opt.relaxed) {
       conserve.insert(fresh);
-      const std::string msg = conserve.consume(got, k);
+      const std::string msg = conserve.consume(got, k, opt.bounded_lag);
       if (!msg.empty()) {
         return {true, i, "cycle " + std::to_string(i) + ": " + msg};
       }
@@ -169,7 +179,7 @@ DiffFailure run_differential(Q& q, const OpTrace& trace, const DiffOptions& opt 
     got.clear();
     const std::size_t nq = q.cycle({}, trace.r, got);
     if (opt.relaxed) {
-      const std::string msg = conserve.consume(got, trace.r);
+      const std::string msg = conserve.consume(got, trace.r, opt.bounded_lag);
       if (!msg.empty()) {
         return {true, end, "final drain: " + msg};
       }

@@ -36,6 +36,7 @@
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
 #include "core/stable_heap.hpp"
+#include "ingest/ingest_tier.hpp"
 #include <optional>
 
 #include "persist/recovery.hpp"
@@ -361,6 +362,36 @@ class DurablePipelinedAdapter {
   std::optional<persist::DurableHeap<PipelinedParallelHeap<std::uint64_t>>> q_;
 };
 
+/// The ingestion tier (ingest/ingest_tier.hpp) over an inner batch heap,
+/// driven so every trace item arrives through the staging buffers: the
+/// adapter stages each fresh item into one of `producers` slots round-robin
+/// (standing in for that many producer threads — slot assignment is
+/// irrelevant to the admitted multiset), then cycles the tier with NO direct
+/// fresh items. In strict mode every staged item is admitted at the next
+/// cycle boundary, so the deletion stream must be bit-exact against the
+/// oracle — the tier's headline claim, differentially tested. In
+/// bounded-staleness mode runs may lawfully lag ≤ S cycles, so the harness
+/// runs it under relaxed + bounded_lag conservation.
+template <typename Inner>
+class IngestTierAdapter {
+ public:
+  IngestTierAdapter(Inner inner, ingest::IngestConfig cfg)
+      : tier_(std::move(inner), cfg) {}
+
+  std::size_t cycle(std::span<const std::uint64_t> fresh, std::size_t k,
+                    std::vector<std::uint64_t>& out) {
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      tier_.stage(i % tier_.config().producers, fresh[i]);
+    }
+    return tier_.cycle({}, k, out);
+  }
+
+  bool check_invariants(std::string* why) { return tier_.check_invariants(why); }
+
+ private:
+  ingest::IngestTier<Inner, std::uint64_t> tier_;
+};
+
 /// The structures every stress run covers by default.
 inline const std::vector<std::string>& default_structures() {
   static const std::vector<std::string> names = {
@@ -370,7 +401,8 @@ inline const std::vector<std::string>& default_structures() {
       "batch_pairing_heap", "batch_leftist_heap", "batch_calendar_queue",
       "sharded_heap",       "sharded_heap_conc",  "sharded_heap_crew",
       "engine_pipeline",    "engine_team",        "local_heaps",
-      "local_heaps_mt",     "flat_combining_mt",  "durable_pipelined"};
+      "local_heaps_mt",     "flat_combining_mt",  "durable_pipelined",
+      "ingest_pipelined",   "ingest_sharded_strict", "ingest_sharded_relaxed"};
   return names;
 }
 
@@ -506,6 +538,42 @@ inline DiffFailure run_trace(const OpTrace& t) {
   if (s == "durable_pipelined") {
     opt.invariant_stride = 64;
     DurablePipelinedAdapter q(t.r);
+    return run_differential(q, t, opt);
+  }
+  if (s == "ingest_pipelined") {
+    // Strict staging over the pipelined heap: 4 producer slots, everything
+    // admitted at the next boundary — stream must be bit-exact.
+    opt.invariant_stride = 64;
+    ingest::IngestConfig ic;
+    ic.producers = 4;
+    IngestTierAdapter<PipelinedParallelHeap<U64>> q(
+        PipelinedParallelHeap<U64>(t.r), ic);
+    return run_differential(q, t, opt);
+  }
+  if (s == "ingest_sharded_strict" || s == "ingest_sharded_relaxed") {
+    // Staging over the PR7 concurrent sharded heap (2 workers, overlapped
+    // putback) with a key-range router on the shards underneath — the full
+    // producer → staging → route → shard pipeline. Strict is bit-exact;
+    // relaxed allows runs to lag ≤ 3 cycles (bounded_lag conservation).
+    opt.invariant_stride = 64;
+    ShardedHeap<U64>::Config c;
+    c.shards = 3;
+    c.rebalance_interval = 16;
+    c.sample_capacity = 1024;
+    c.workers = 2;
+    c.overlap_putback = true;
+    // Banded router (Config::router seam): coalesced runs land on shards by
+    // key band, exercising the route-by-run path instead of the quantile map.
+    c.router = [](const U64& v) { return static_cast<std::size_t>(v >> 6); };
+    ingest::IngestConfig ic;
+    ic.producers = 4;
+    if (s == "ingest_sharded_relaxed") {
+      ic.staleness = 3;
+      ic.admit_min_items = 4 * t.r;
+      opt.relaxed = true;
+      opt.bounded_lag = true;
+    }
+    IngestTierAdapter<ShardedHeap<U64>> q(ShardedHeap<U64>(t.r, c), ic);
     return run_differential(q, t, opt);
   }
   return {true, 0, "unknown structure '" + s + "' (see structures.hpp)"};

@@ -148,6 +148,23 @@ TEST_F(BenchOutput, ChromeTraceParsesWithBalancedEvents) {
 #endif
 }
 
+TEST(BenchArgs, MalformedMetricsNumbersAreRejected) {
+  // Regression: --metrics-port/--metrics-period-ms went through bare atoi,
+  // so "--metrics-port=abc" silently became port 0 (ephemeral bind!) and a
+  // junk period silently became the 1ms default. Non-numeric, trailing-junk,
+  // and out-of-range values must all exit 2, like the empty-path check.
+  const std::string bin(PH_BENCH_CYCLE_SCALING_BIN);
+  for (const char* args :
+       {" --metrics-port=abc", " --metrics-port=12abc", " --metrics-port=-1",
+        " --metrics-port=65536", " --metrics-port ''",
+        " --metrics-period-ms=abc", " --metrics-period-ms=0",
+        " --metrics-period-ms=-5", " --metrics-period-ms=10x"}) {
+    const int status = std::system((bin + args + " > /dev/null 2>&1").c_str());
+    ASSERT_TRUE(WIFEXITED(status)) << args;
+    EXPECT_EQ(WEXITSTATUS(status), 2) << args;
+  }
+}
+
 TEST(BenchArgs, EmptyOutputPathIsRejected) {
   // Regression: "--json=" / "--trace=" (and an explicit empty argument) used
   // to be accepted and then silently skipped at exit — the caller asked for

@@ -265,6 +265,137 @@ TEST(Engine, QuarantineRetiresFlappingLaneAndConservesItems) {
   EXPECT_TRUE(recorded);
 }
 
+TEST(Engine, EmptyShareDoesNotResetFaultStreakOfFlappingLane) {
+  // Regression for the streak-bookkeeping bug: when requeues shrink the
+  // batch below the lane count, a flapping lane is sometimes dealt an EMPTY
+  // share, which trivially "succeeds". The old code reset lane_streak_ on
+  // that no-op, so a lane that faults on every real share could evade the
+  // quarantine limit forever. Deterministic trace (r=2, two lanes, lane 1
+  // throws iff its share is nonempty):
+  //   c1: deal {10|20}  lane1 faults on {20}   streak 1, requeue {20}
+  //   c2: deal {20|30}  lane1 faults on {30}   streak 2, requeue {30}
+  //   c3: deal {30|−}   lane1 EMPTY share      streak must STAY 2
+  //   c4: deal {40|50}  lane1 faults on {50}   streak 3 → quarantined
+  //   c5: lane0 alone processes the requeued {50}
+  EngineConfig cfg;
+  cfg.node_capacity = 2;
+  cfg.think_threads = 2;
+  cfg.lane_fault_limit = 3;
+  Engine eng(cfg);
+  eng.seed(std::vector<std::uint64_t>{10, 20, 30});
+
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  const EngineReport rep = eng.run(
+      [&](unsigned tid, std::span<const std::uint64_t> mine,
+          std::span<const std::uint64_t>, std::vector<std::uint64_t>& out) {
+        if (tid == 1 && !mine.empty()) throw std::runtime_error("flapping");
+        std::lock_guard lk(mu);
+        seen.insert(seen.end(), mine.begin(), mine.end());
+        for (std::uint64_t v : mine) {
+          if (v == 30) {  // one burst of follow-on work keeps c4 two-wide
+            out.push_back(40);
+            out.push_back(50);
+          }
+        }
+      });
+
+  EXPECT_EQ(rep.lanes_quarantined, 1u);  // old code: 0 (streak reset at c3)
+  EXPECT_EQ(rep.think_faults, 3u);
+  EXPECT_TRUE(eng.heap().empty());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(Engine, ThinkItemsCountsSuccessfulThinksOnly) {
+  // Regression for the double-count: kThinkItems used to be tallied at
+  // share DELIVERY, so a faulted lane's requeued items were counted once
+  // per retry and the counter drifted past items-actually-thought. It must
+  // equal the number of items that passed through a SUCCESSFUL think.
+  if (!telemetry::kEnabled) GTEST_SKIP() << "built without PH_TELEMETRY";
+  const std::uint64_t before = telemetry::Registry::instance().collect().get(
+      telemetry::Counter::kThinkItems);
+
+  EngineConfig cfg;
+  cfg.node_capacity = 2;
+  cfg.think_threads = 2;
+  cfg.lane_fault_limit = 3;
+  Engine eng(cfg);
+  eng.seed(std::vector<std::uint64_t>{10, 20, 30});
+  eng.run([&](unsigned tid, std::span<const std::uint64_t> mine,
+              std::span<const std::uint64_t>, std::vector<std::uint64_t>& out) {
+    if (tid == 1 && !mine.empty()) throw std::runtime_error("flapping");
+    for (std::uint64_t v : mine) {
+      if (v == 30) {
+        out.push_back(40);
+        out.push_back(50);
+      }
+    }
+  });
+
+  const std::uint64_t after = telemetry::Registry::instance().collect().get(
+      telemetry::Counter::kThinkItems);
+  // Lane 0 successfully thinks exactly {10,20,30,40,50}; lane 1's faulted
+  // shares (20, 30, 50 at delivery) must NOT be counted.
+  EXPECT_EQ(after - before, 5u);
+}
+
+TEST(Engine, ThinkTeamRunMatchesOracleAcrossTeamSizes) {
+  // ROADMAP carry-over: drive the ENGINE'S OWN run() loop — think team,
+  // round-robin deal, requeue-free steady state — through a differential
+  // trace. The per-cycle deleted batch (the `batch` span every lane
+  // receives) must be bit-identical across think-team sizes AND match the
+  // sorted-multiset oracle fed the same value-deterministic feedback, which
+  // pins the full think-team schedule to the serial semantics.
+  constexpr std::size_t kR = 16;
+  constexpr std::uint64_t kMaxItems = 4000;
+  std::vector<std::vector<std::vector<std::uint64_t>>> streams;
+
+  struct Cfg {
+    unsigned think, maint;
+  };
+  for (const Cfg tc : {Cfg{0, 0}, Cfg{2, 0}, Cfg{3, 2}}) {
+    EngineConfig cfg;
+    cfg.node_capacity = kR;
+    cfg.think_threads = tc.think;
+    cfg.maintenance_threads = tc.maint;
+    Engine eng(cfg);
+    eng.seed(random_items(300, 42, 1u << 20));
+
+    std::mutex mu;
+    std::vector<std::vector<std::uint64_t>> batches;
+    eng.run(
+        [&](unsigned tid, std::span<const std::uint64_t> mine,
+            std::span<const std::uint64_t> batch, std::vector<std::uint64_t>& out) {
+          if (tid == 0) {  // one recorder per cycle; every lane sees `batch`
+            std::lock_guard lk(mu);
+            batches.emplace_back(batch.begin(), batch.end());
+          }
+          // Value-deterministic feedback: the produced multiset depends only
+          // on the deleted values, never on the deal or the schedule.
+          for (std::uint64_t v : mine) out.push_back(v + 1 + (v & 0xff));
+        },
+        kMaxItems);
+    streams.push_back(std::move(batches));
+  }
+
+  ASSERT_EQ(streams[1], streams[0]);
+  ASSERT_EQ(streams[2], streams[0]);
+
+  // Oracle lockstep over the recorded stream: batch 0 is the post-seed
+  // delete; each later batch deletes after inserting the feedback of the
+  // previous one.
+  testing::SortedOracle oracle;
+  std::vector<std::uint64_t> fresh = random_items(300, 42, 1u << 20);
+  for (const auto& batch : streams[0]) {
+    std::vector<std::uint64_t> want;
+    oracle.cycle(fresh, kR, want);
+    ASSERT_EQ(batch, want);
+    fresh.clear();
+    for (std::uint64_t v : want) fresh.push_back(v + 1 + (v & 0xff));
+  }
+}
+
 TEST(Engine, LastAliveLaneIsNeverQuarantined) {
   // A single lane that always fails must keep flapping (degraded beats
   // dead): no quarantine, and the max_items bound — which counts failed
