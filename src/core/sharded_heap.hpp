@@ -784,7 +784,58 @@ class ShardedHeap {
     return all;
   }
 
+  // ---------------------------------------------------- ownership handoff seam
+  //
+  // An external supervisor (dist/supervisor.hpp) that moves a shard's key
+  // range to another execution domain needs a clean ownership boundary:
+  // release surrenders a shard's items and removes it from routing (its key
+  // range redistributes across survivors, exactly as quarantine does —
+  // minus the recovery-run dump, because the caller keeps the items);
+  // adopt is the inverse — hand items back, reactivate, rewiden the map.
+
+  /// Surrenders shard `s`: returns its entire contents (ascending) and
+  /// deactivates it. Survivors keep cycling; fresh values that would have
+  /// routed to `s` spread across the narrowed partition map.
+  std::vector<T> release_shard(std::size_t s) {
+    quiesce();
+    PH_ASSERT_MSG(active_shards() > 1, "cannot release the last active shard");
+    PH_ASSERT_MSG(active_[s] != 0, "release_shard: shard already inactive");
+    std::vector<T> drained = shards_[s].sorted_contents();
+    shards_[s].build(std::span<const T>{});
+    active_[s] = 0;
+    rebuild_routing();
+    obs::flight(obs::FlightKind::kQuarantine, s, drained.size());
+    return drained;
+  }
+
+  /// Re-admits shard `s` with `items` as its contents (any order) and
+  /// restores it to the routing table. Conservation is the caller's
+  /// contract: adopt back exactly what release (plus interim ops) left.
+  void adopt_shard(std::size_t s, std::span<const T> items) {
+    quiesce();
+    PH_ASSERT_MSG(active_[s] == 0, "adopt_shard: shard already active");
+    shards_[s].build(items);
+    active_[s] = 1;
+    rebuild_routing();
+  }
+
  private:
+  /// Recomputes dense_ from active_ and re-estimates the partition map at
+  /// the new width from the rolling sample (quarantine_shard's narrowing
+  /// logic, shared with the handoff seam which also widens).
+  void rebuild_routing() {
+    dense_.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (active_[i] != 0) dense_.push_back(i);
+    }
+    part_ = KeyRangePartitioner<T, Compare>(dense_.size(), cmp_);
+    seeded_ = false;
+    if (!sample_.empty()) {
+      part_.rebalance(std::span<const T>(sample_));
+      seeded_ = true;
+    }
+  }
+
   /// Slot (index into shards_) serving value v under the current partition
   /// map: the map spans only ACTIVE shards; dense_ translates its range
   /// index to a physical slot. A configured router bypasses the map: its
@@ -1133,16 +1184,7 @@ class ShardedHeap {
     PH_ASSERT_MSG(active_shards() > 1, "cannot quarantine the last shard");
     PH_ASSERT(active_[s] != 0);
     active_[s] = 0;
-    dense_.clear();
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (active_[i] != 0) dense_.push_back(i);
-    }
-    part_ = KeyRangePartitioner<T, Compare>(dense_.size(), cmp_);
-    seeded_ = false;
-    if (!sample_.empty()) {
-      part_.rebalance(std::span<const T>(sample_));
-      seeded_ = true;
-    }
+    rebuild_routing();
     const std::vector<T> drained = shards_[s].sorted_contents();
     // sorted_contents() copies; actually empty the retired shard so its
     // items *move* into the recovery run — otherwise size()/empty() keep

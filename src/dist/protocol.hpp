@@ -1,0 +1,127 @@
+// Supervisor <-> shard-server message protocol (DESIGN.md §14).
+//
+// One symmetric message shape rides the transport in both directions:
+//
+//   payload := [u8 type][u64 a][u64 b][u64 c][u64 nitems][raw items]
+//
+// where items are the PQ's trivially-copyable value type (same host-order
+// raw encoding, and the same "item size in the header would reject a
+// foreign file" stance, as the persist layer — the wire and the WAL carry
+// the same bytes). The interpretation of a/b/c per type:
+//
+//   requests (supervisor -> shard)
+//     kInsert    a=op seq                     items = routed fresh batch
+//     kRemove    a=op seq, b=count            (delete the b smallest)
+//     kPeek      b=k                          read-only: k-smallest prefix
+//     kCheckpoint                              force a checkpoint now
+//     kShutdown                                clean exit request
+//   replies (shard -> supervisor)
+//     kHello     a=recovered op seq, b=last checkpoint seq, c=size
+//     kAck       a=op seq after apply, b=last checkpoint seq, c=size
+//     kPeekReply a=op seq, c=size             items = the prefix
+//     kBeat      a=op seq                     liveness heartbeat
+//     kError     a=expected seq, b=got seq    protocol violation (loud)
+//
+// Why insert/peek/remove instead of shipping cycle() whole: a cycle's
+// delete-side OUTPUT would exist only in a reply frame, and a shard that
+// dies after logging the op but before replying would take the output with
+// it — per-shard WAL replay reconstructs state, not lost reply frames. The
+// split keeps every logged mutation's effect either output-free (insert) or
+// already known to the supervisor (remove returns a prefix of the peek the
+// supervisor just merged), so a replayed shard plus the supervisor's journal
+// is always enough to continue bit-exactly. Peeks are read-only and never
+// logged; sequence numbers advance only on mutations, and a shard server
+// acknowledges-without-applying any mutation at or below its op seq, making
+// post-failover retries idempotent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "persist/format.hpp"
+
+namespace ph::dist {
+
+enum class MsgType : std::uint8_t {
+  kInsert = 1,
+  kRemove,
+  kPeek,
+  kCheckpoint,
+  kShutdown,
+  kHello,
+  kAck,
+  kPeekReply,
+  kBeat,
+  kError,
+};
+
+inline const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kInsert: return "insert";
+    case MsgType::kRemove: return "remove";
+    case MsgType::kPeek: return "peek";
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHello: return "hello";
+    case MsgType::kAck: return "ack";
+    case MsgType::kPeekReply: return "peek_reply";
+    case MsgType::kBeat: return "beat";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+template <typename T>
+struct Msg {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "dist protocol items must be trivially copyable");
+  MsgType type = MsgType::kBeat;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::vector<T> items;
+};
+
+template <typename T>
+inline void encode_msg(const Msg<T>& m, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.push_back(static_cast<std::uint8_t>(m.type));
+  persist::put_u64(out, m.a);
+  persist::put_u64(out, m.b);
+  persist::put_u64(out, m.c);
+  persist::put_u64(out, m.items.size());
+  if (!m.items.empty()) {
+    persist::put_raw(out, m.items.data(), m.items.size() * sizeof(T));
+  }
+}
+
+/// Strict decode: trailing bytes, short payloads, unknown types, and
+/// implausible item counts all fail (the transport's CRC already caught
+/// corruption; this catches protocol drift between the two processes).
+template <typename T>
+inline bool decode_msg(std::span<const std::uint8_t> payload, Msg<T>& m) {
+  if (payload.empty()) return false;
+  const auto raw_type = payload[0];
+  if (raw_type < static_cast<std::uint8_t>(MsgType::kInsert) ||
+      raw_type > static_cast<std::uint8_t>(MsgType::kError)) {
+    return false;
+  }
+  m.type = static_cast<MsgType>(raw_type);
+  persist::PayloadReader rd(payload.subspan(1));
+  std::uint64_t nitems = 0;
+  if (!rd.get_u64(m.a) || !rd.get_u64(m.b) || !rd.get_u64(m.c) ||
+      !rd.get_u64(nitems)) {
+    return false;
+  }
+  if (nitems * sizeof(T) != rd.remaining()) return false;
+  m.items.resize(static_cast<std::size_t>(nitems));
+  if (nitems != 0 && !rd.get_raw(m.items.data(), m.items.size() * sizeof(T))) {
+    return false;
+  }
+  return rd.remaining() == 0;
+}
+
+}  // namespace ph::dist

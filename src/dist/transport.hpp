@@ -1,0 +1,235 @@
+// Transport seam for multi-process shard execution (DESIGN.md §14).
+//
+// The supervisor speaks to every shard backend through one tiny interface —
+// send a frame, receive a frame with a deadline — so the SAME supervision,
+// journaling, and recovery logic runs over two very different carriers:
+//
+//   SocketTransport    a connected AF_UNIX SOCK_STREAM fd (one end of a
+//                      socketpair whose peer lives in a forked shard
+//                      process). Frames reuse the durability layer's wire
+//                      unit — [u32 len][u32 crc32][payload] (format.hpp) —
+//                      so a torn or corrupted frame presents exactly like a
+//                      torn WAL tail: a framing failure, reported as kClosed,
+//                      never a misparse. Receives are deadline-bounded via
+//                      poll(2); sends use MSG_NOSIGNAL so a peer that died
+//                      mid-conversation surfaces as EPIPE (a return value the
+//                      supervisor turns into a failover), not a SIGPIPE.
+//
+//   LoopbackTransport  an in-process queue in front of a synchronous handler.
+//                      This is the takeover carrier: when a shard process is
+//                      dead and its state has been re-adopted in-parent, the
+//                      supervisor keeps issuing the SAME framed requests and
+//                      the loopback dispatches them to the local ShardServer.
+//                      It is also the whole story for use_processes=false
+//                      (fault-matrix drills, tsan builds — no fork, no
+//                      threads), keeping every protocol path exercisable
+//                      in-process.
+//
+// Fault injection: both carriers evaluate the kTransportSend / kTransportRecv
+// fail-point sites on every frame, so one armed spec drives "the network ate
+// a frame" through either carrier — and the supervisor's recovery (kill,
+// take over, replay, retry) is what the fault matrix audits.
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "persist/format.hpp"
+#include "robustness/failpoint.hpp"
+
+namespace ph::dist {
+
+enum class RecvStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,  ///< deadline passed with no complete frame
+  kClosed,   ///< peer gone (EOF, reset) or stream unframeable (CRC mismatch)
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues/writes one frame. Returns false when the peer is gone — the
+  /// caller treats that exactly like a receive kClosed (failover).
+  virtual bool send_frame(std::span<const std::uint8_t> payload) = 0;
+
+  /// Receives the next frame into `payload`. `timeout_ms` bounds the total
+  /// wait (0 = only what is already buffered/queued; <0 = block).
+  virtual RecvStatus recv_frame(std::vector<std::uint8_t>& payload,
+                                int timeout_ms) = 0;
+
+  virtual void close() noexcept = 0;
+};
+
+/// Frame stream over a connected stream socket. Owns the fd.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd) noexcept : fd_(fd) {}
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+  ~SocketTransport() override { close(); }
+
+  bool send_frame(std::span<const std::uint8_t> payload) override {
+    robustness::fire_fault(robustness::FailSite::kTransportSend);
+    if (fd_ < 0) return false;
+    wire_.clear();
+    persist::append_frame(wire_, payload);
+    const std::uint8_t* p = wire_.data();
+    std::size_t n = wire_.size();
+    while (n > 0) {
+      const ::ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE/ECONNRESET: peer died — supervisor's problem
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  RecvStatus recv_frame(std::vector<std::uint8_t>& payload, int timeout_ms) override {
+    robustness::fire_fault(robustness::FailSite::kTransportRecv);
+    if (fd_ < 0) return RecvStatus::kClosed;
+    const auto deadline = timeout_ms < 0
+                              ? std::chrono::steady_clock::time_point::max()
+                              : std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      switch (try_parse(payload)) {
+        case Parse::kFrame: return RecvStatus::kOk;
+        case Parse::kBad: return RecvStatus::kClosed;
+        case Parse::kNeedMore: break;
+      }
+      int wait_ms = 0;
+      if (timeout_ms != 0) {
+        const auto left = deadline - std::chrono::steady_clock::now();
+        if (left <= std::chrono::nanoseconds::zero() && timeout_ms >= 0) {
+          return RecvStatus::kTimeout;
+        }
+        wait_ms = timeout_ms < 0
+                      ? -1
+                      : static_cast<int>(
+                            std::chrono::duration_cast<std::chrono::milliseconds>(
+                                left)
+                                .count() +
+                            1);
+      }
+      ::pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kClosed;
+      }
+      if (pr == 0) return RecvStatus::kTimeout;
+      std::uint8_t chunk[4096];
+      const ::ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return RecvStatus::kClosed;
+      }
+      if (r == 0) {
+        // EOF: anything short of a full frame in rx_ is a torn tail.
+        return try_parse(payload) == Parse::kFrame ? RecvStatus::kOk
+                                                   : RecvStatus::kClosed;
+      }
+      rx_.insert(rx_.end(), chunk, chunk + r);
+    }
+  }
+
+  void close() noexcept override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  enum class Parse : std::uint8_t { kFrame, kNeedMore, kBad };
+
+  /// Tries to cut one complete frame off the front of rx_. A CRC mismatch is
+  /// kBad: a stream transport cannot resynchronize past corruption.
+  Parse try_parse(std::vector<std::uint8_t>& payload) {
+    if (rx_.size() < 8) return Parse::kNeedMore;
+    persist::PayloadReader hdr(std::span<const std::uint8_t>(rx_.data(), 8));
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    hdr.get_u32(len);
+    hdr.get_u32(crc);
+    if (len > persist::kMaxFramePayload) return Parse::kBad;
+    if (rx_.size() < 8 + static_cast<std::size_t>(len)) return Parse::kNeedMore;
+    const std::span<const std::uint8_t> body(rx_.data() + 8, len);
+    if (persist::crc32(body) != crc) return Parse::kBad;
+    payload.assign(body.begin(), body.end());
+    rx_.erase(rx_.begin(),
+              rx_.begin() + static_cast<std::ptrdiff_t>(8 + std::size_t{len}));
+    return Parse::kFrame;
+  }
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rx_;    ///< unparsed stream bytes
+  std::vector<std::uint8_t> wire_;  ///< send scratch
+};
+
+/// In-process carrier: send_frame() dispatches to a synchronous handler,
+/// whose reply frames are queued for subsequent recv_frame() calls. The
+/// handler is the shard server's serve-one-request entry; a reset handler
+/// (empty function) models a dead backend (send fails, recv is kClosed).
+class LoopbackTransport final : public Transport {
+ public:
+  /// Receives one request payload; pushes zero or more reply frames.
+  using Handler = std::function<void(std::span<const std::uint8_t>,
+                                     std::vector<std::vector<std::uint8_t>>&)>;
+
+  LoopbackTransport() = default;
+  explicit LoopbackTransport(Handler h) : handler_(std::move(h)) {}
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  bool send_frame(std::span<const std::uint8_t> payload) override {
+    robustness::fire_fault(robustness::FailSite::kTransportSend);
+    if (!handler_) return false;
+    replies_.clear();
+    handler_(payload, replies_);
+    for (auto& r : replies_) rx_.push_back(std::move(r));
+    return true;
+  }
+
+  RecvStatus recv_frame(std::vector<std::uint8_t>& payload,
+                        int /*timeout_ms*/) override {
+    robustness::fire_fault(robustness::FailSite::kTransportRecv);
+    if (rx_.empty()) {
+      // With a synchronous handler there is no "later": an empty queue means
+      // the reply will never come, which is a timeout as far as the
+      // supervisor's deadline logic is concerned.
+      return handler_ ? RecvStatus::kTimeout : RecvStatus::kClosed;
+    }
+    payload = std::move(rx_.front());
+    rx_.pop_front();
+    return RecvStatus::kOk;
+  }
+
+  void close() noexcept override {
+    handler_ = nullptr;
+    rx_.clear();
+  }
+
+ private:
+  Handler handler_;
+  std::deque<std::vector<std::uint8_t>> rx_;
+  std::vector<std::vector<std::uint8_t>> replies_;
+};
+
+}  // namespace ph::dist

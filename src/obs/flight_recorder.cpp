@@ -70,6 +70,10 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kLaneQuarantine: return "lane_quarantine";
     case FlightKind::kIngestFlush: return "ingest_flush";
     case FlightKind::kTeardownError: return "teardown_error";
+    case FlightKind::kShardProcSpawn: return "shard_proc_spawn";
+    case FlightKind::kShardProcDeath: return "shard_proc_death";
+    case FlightKind::kShardTakeover: return "shard_takeover";
+    case FlightKind::kShardReadmit: return "shard_readmit";
     case FlightKind::kCount: break;
   }
   return "unknown";
@@ -154,9 +158,17 @@ std::string FlightRecorder::dump_to_file(const char* reason) const noexcept {
     }
     const std::int64_t now_ms =
         epoch_unix_ms_ + static_cast<std::int64_t>(now_ns() / 1'000'000);
-    char name[128];
-    std::snprintf(name, sizeof(name), "flightrec-%s-%lld-%d.json", reason,
-                  static_cast<long long>(now_ms), static_cast<int>(::getpid()));
+    // Multi-process runs (supervisor + shard children) share one dump dir, so
+    // the name carries the pid; the per-process counter keeps two same-reason
+    // dumps from one process apart even within a single millisecond. Note:
+    // getpid() must be read per-dump, not cached — a fork()ed child inherits
+    // the parent's recorder instance.
+    static std::atomic<std::uint64_t> dump_seq{0};
+    const std::uint64_t seq = dump_seq.fetch_add(1, std::memory_order_relaxed);
+    char name[160];
+    std::snprintf(name, sizeof(name), "flightrec-%s-%lld-%d-%llu.json", reason,
+                  static_cast<long long>(now_ms), static_cast<int>(::getpid()),
+                  static_cast<unsigned long long>(seq));
     const std::string path = dir + "/" + name;
     std::ofstream os(path);
     if (!os) return "";

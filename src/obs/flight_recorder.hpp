@@ -58,6 +58,10 @@ enum class FlightKind : std::uint8_t {
   kLaneQuarantine,    ///< engine think lane retired; a=lane id, b=consecutive faults
   kIngestFlush,       ///< ingest staging buffers flushed; a=runs, b=items
   kTeardownError,     ///< a destructor swallowed a deferred failure; a=source tag
+  kShardProcSpawn,    ///< supervisor spawned a shard backend; a=shard, b=pid (0=loopback)
+  kShardProcDeath,    ///< shard backend died/was failed; a=shard, b=pid
+  kShardTakeover,     ///< supervisor took a shard over in-parent; a=shard, b=replayed ops
+  kShardReadmit,      ///< recovered shard re-admitted; a=shard, b=resent ops
   kCount
 };
 inline constexpr std::size_t kNumFlightKinds =
@@ -111,8 +115,11 @@ class FlightRecorder {
   /// Serializes {epoch info, total/dropped, events[]} as one JSON document.
   void dump(std::ostream& os, const char* reason) const;
 
-  /// Writes dump() to `<dir>/flightrec-<reason>-<unix ms>-<pid>.json` where
-  /// dir is set_dump_dir() if called, else $PH_FLIGHTREC_DIR, else ".".
+  /// Writes dump() to `<dir>/flightrec-<reason>-<unix ms>-<pid>-<n>.json`
+  /// where dir is set_dump_dir() if called, else $PH_FLIGHTREC_DIR, else ".".
+  /// `<pid>` keeps concurrent processes (supervisor + shard children sharing
+  /// one $PH_FLIGHTREC_DIR) apart and `<n>` is a per-process dump counter, so
+  /// two dumps can never clobber each other even within one millisecond.
   /// Returns the path ("" on failure — the dump must never throw; it runs on
   /// dying processes). Best-effort by design.
   std::string dump_to_file(const char* reason) const noexcept;

@@ -110,6 +110,15 @@ inline std::vector<std::pair<std::uint64_t, std::string>> list_seq_files(
   return out;
 }
 
+/// Per-shard durable subdirectory used by the dist supervisor: each shard's
+/// WAL segments and checkpoints live under their own `shard-<i>` directory,
+/// so a shard checkpoints, prunes, and recovers independently of siblings.
+inline std::string shard_dir(const std::string& base, std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard-%04zu", shard);
+  return base + buf;
+}
+
 inline std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
     const std::string& dir) {
   return list_seq_files(dir, "ckpt-", ".phc");

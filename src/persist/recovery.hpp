@@ -301,7 +301,16 @@ class DurableHeap {
         pq_.cycle(std::span<const T>(rec.items), 0, sink_);
         break;
       case RecType::kDelete:
-        pq_.cycle(std::span<const T>(), rec.k, sink_);
+        // Mirrors the live path: delete_min_batch chunks k into <= r-sized
+        // steps, so a logged k may legally exceed the node capacity. PQs
+        // without that surface (ShardedHeap) accept any k in cycle().
+        if constexpr (requires(PQ& q, std::vector<T>& o) {
+                        q.delete_min_batch(std::size_t{}, o);
+                      }) {
+          pq_.delete_min_batch(rec.k, sink_);
+        } else {
+          pq_.cycle(std::span<const T>(), rec.k, sink_);
+        }
         break;
       case RecType::kBuild:
         pq_.build(std::span<const T>(rec.items));
@@ -347,9 +356,35 @@ class DurableHeap {
     info_.checkpoint_loaded = loaded;
     info_.checkpoint_seq = base;
 
+    // A loaded checkpoint must be covered by the segment file set: every
+    // publication rotates to a segment starting at the checkpoint's sequence
+    // (and pruning only deletes segments below the oldest retained
+    // checkpoint), so "no segment file at or below the checkpoint" can only
+    // mean segment files were deleted out from under us — and with them,
+    // possibly, acknowledged operations. That must be a loud failure, not a
+    // silent heap frozen at the stale image. Coverage is judged by filename
+    // alone: a zero-length or torn covering segment is the benign
+    // crash-during-rotation case and stays recoverable.
+    const auto segments = list_wal_segments(opt_.dir);
+    if (loaded && base > 0) {
+      bool covered = false;
+      for (const auto& [sseq, spath] : segments) {
+        if (sseq <= base) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        throw CorruptStateError(
+            "persist: checkpoint " + std::to_string(base) + " in " + opt_.dir +
+            " has no covering WAL segment (start <= " + std::to_string(base) +
+            ") — segments were deleted; acknowledged ops may be lost");
+      }
+    }
+
     // 3. REPLAY the WAL tail.
     std::uint64_t expected = base;  // seq of the last applied op
-    for (const auto& [sseq, spath] : list_wal_segments(opt_.dir)) {
+    for (const auto& [sseq, spath] : segments) {
       const SegmentContents<T> seg = read_segment<T>(spath);
       if (!seg.header_ok) {
         // Unreadable segment: its records (if any existed) are gone. If they

@@ -71,6 +71,10 @@ enum class FailSite : std::uint8_t {
   kRecoverReplay,   ///< crash/fault between replayed WAL records (double crash)
   kIngestFlush,     ///< producer dies mid-flush of the ingest staging buffers
   kShardPutback,    ///< deferred (overlapped) shard putback fails on a worker
+  kTransportSend,   ///< dist transport loses/corrupts an outbound frame
+  kTransportRecv,   ///< dist transport loses/corrupts an inbound frame
+  kShardSpawn,      ///< supervisor fails to spawn/respawn a shard process
+  kHeartbeatDrop,   ///< shard server silently skips its liveness beat
   kCount
 };
 inline constexpr std::size_t kNumFailSites = static_cast<std::size_t>(FailSite::kCount);
@@ -91,6 +95,10 @@ inline const char* fail_site_name(FailSite s) noexcept {
     case FailSite::kRecoverReplay: return "recover_replay";
     case FailSite::kIngestFlush: return "ingest_flush";
     case FailSite::kShardPutback: return "shard_putback";
+    case FailSite::kTransportSend: return "transport_send";
+    case FailSite::kTransportRecv: return "transport_recv";
+    case FailSite::kShardSpawn: return "shard_spawn";
+    case FailSite::kHeartbeatDrop: return "heartbeat_drop";
     case FailSite::kCount: break;
   }
   return "unknown";

@@ -47,6 +47,20 @@
 //       deferred-path repair: an injected failure on a team putback worker
 //       is retried serially at the quiesce handshake — the suffix lands,
 //       and the stream stays EXACT.
+//   transport_send / transport_recv
+//       failover: a lost/corrupted frame mid-RPC kills the backend; the
+//       supervisor takes the shard over in-parent (per-shard WAL recovery +
+//       journal replay), retries the op, and the stream stays EXACT while
+//       survivors keep cycling.
+//   shard_spawn
+//       bounded respawn: injected spawn failures at construction and at
+//       re-admission back off and retry; the shard serves in-parent in the
+//       meantime and the stream stays EXACT end to end.
+//   heartbeat_drop
+//       liveness escalation: a shard that answers requests but silently
+//       skips its beats must be detected through the watchdog channel
+//       (consecutive stall verdicts -> failover), not through traffic —
+//       stream EXACT across the forced takeovers.
 //
 // (In-process, these crash sites throw InjectedFault — the exception shape
 // every drill can roll back from. The ph_crash tool additionally drives the
@@ -67,13 +81,35 @@
 #include "core/engine.hpp"
 #include "core/pipelined_heap.hpp"
 #include "core/sharded_heap.hpp"
+#include "dist/supervisor.hpp"
 #include "persist/recovery.hpp"
 #include "robustness/failpoint.hpp"
+#include "robustness/watchdog.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
 #include "testing/structures.hpp"
 
 namespace ph::robustness {
+
+/// The drill table IS the registry-coverage contract: every FailSite must
+/// appear here exactly once, and run_fault_matrix runs one drill per row.
+/// Registering a new site without extending this table (and the matrix)
+/// fails the build at this line instead of a count literal drifting
+/// silently out of date.
+inline constexpr FailSite kDrilledSites[] = {
+    FailSite::kRootAlloc,     FailSite::kSpawnAlloc,
+    FailSite::kTornInsert,    FailSite::kSkipReservice,
+    FailSite::kCompareThrow,  FailSite::kThinkThrow,
+    FailSite::kWorkerStall,   FailSite::kShardCycle,
+    FailSite::kCkptWrite,     FailSite::kWalAppend,
+    FailSite::kWalFsync,      FailSite::kRecoverReplay,
+    FailSite::kIngestFlush,   FailSite::kShardPutback,
+    FailSite::kTransportSend, FailSite::kTransportRecv,
+    FailSite::kShardSpawn,    FailSite::kHeartbeatDrop,
+};
+static_assert(sizeof(kDrilledSites) / sizeof(kDrilledSites[0]) == kNumFailSites,
+              "every registered FailSite needs a fault-matrix drill: add the "
+              "site to kDrilledSites AND a drill to run_fault_matrix");
 
 struct FaultMatrixConfig {
   std::uint64_t seed = 1;
@@ -567,13 +603,149 @@ inline FaultSiteResult shard_putback_drill(const FaultMatrixConfig& cfg) {
                 ok ? "" : "stream diverged across putback retries: " + f.message);
 }
 
+// ----------------------------------------------------------- dist drills
+// All four run the shard supervisor over LOOPBACK backends (no fork, no
+// threads — the same protocol/journal/takeover paths as process mode, and
+// safe under tsan). ph_crash --mode=shard-proc drives the process carrier
+// with real SIGKILLs.
+
+/// Deterministic clock shared by the supervisor and the watchdog in the
+/// dist drills (fn-pointer config seams — no state capture allowed).
+inline std::atomic<std::uint64_t>& dist_fake_now() {
+  static std::atomic<std::uint64_t> now{0};
+  return now;
+}
+inline std::uint64_t dist_fake_clock() {
+  return dist_fake_now().load(std::memory_order_relaxed);
+}
+
+inline typename dist::ShardSupervisor<U64>::Config dist_drill_config(
+    const std::string& dir) {
+  typename dist::ShardSupervisor<U64>::Config scfg;
+  scfg.shards = 2;
+  scfg.node_capacity = 8;
+  scfg.dir = dir;
+  scfg.fsync = persist::FsyncPolicy::kNever;
+  scfg.checkpoint_interval = 16;
+  scfg.use_processes = false;
+  scfg.clock = &dist_fake_clock;
+  return scfg;
+}
+
+/// Advances the shared fake clock (and polls the watchdog, when given one)
+/// before every cycle, so respawn backoff deadlines and stall verdicts
+/// march deterministically through the differential trace.
+struct DistClockedAdapter {
+  dist::ShardSupervisor<U64>& q;
+  PhaseWatchdog* wd = nullptr;
+  std::uint64_t tick_ns = 10'000'000;
+
+  std::size_t cycle(std::span<const U64> fresh, std::size_t k,
+                    std::vector<U64>& out) {
+    dist_fake_now().fetch_add(tick_ns, std::memory_order_relaxed);
+    if (wd != nullptr) wd->poll();
+    return q.cycle(fresh, k, out);
+  }
+  bool check_invariants(std::string* why) { return q.check_invariants(why); }
+};
+
+/// transport_send / transport_recv: a frame lost mid-RPC must be absorbed
+/// by kill + takeover + journal replay + retry, with the stream EXACT and
+/// at least one takeover actually exercised.
+inline FaultSiteResult dist_transport_drill(const FaultMatrixConfig& cfg,
+                                            FailSite site, FireSpec spec) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, site);
+  const TempDir dir("ph-fm-dist");
+  dist_fake_now().store(0, std::memory_order_relaxed);
+  dist::ShardSupervisor<U64> q(dist_drill_config(dir.path));
+  DistClockedAdapter a{q};
+  arm(site, spec);
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(a, trace, opt);
+  std::string detail;
+  bool ok = !f.failed;
+  if (f.failed) {
+    detail = "stream diverged across transport failovers: " + f.message;
+  } else if (q.stats().takeovers == 0 && stats(site).fires > 0) {
+    ok = false;
+    detail = std::string(fail_site_name(site)) +
+             " fired but no takeover was recorded";
+  }
+  return finish(site, ok, std::move(detail));
+}
+
+/// shard_spawn: injected spawn failures (here: from the very first spawn at
+/// construction) leave the shard serving in-parent; bounded backoff retries
+/// re-admit it mid-trace once the site exhausts its fires — stream EXACT.
+inline FaultSiteResult dist_spawn_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kShardSpawn);
+  const TempDir dir("ph-fm-spawn");
+  dist_fake_now().store(0, std::memory_order_relaxed);
+  // Armed BEFORE construction: both initial spawns fail, both shards start
+  // life taken-over, and respawn succeeds once max_fires is exhausted.
+  arm(FailSite::kShardSpawn,
+      FireSpec{/*nth=*/1, /*period=*/1, /*max_fires=*/2, /*stall_us=*/0});
+  dist::ShardSupervisor<U64> q(dist_drill_config(dir.path));
+  DistClockedAdapter a{q};
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(a, trace, opt);
+  std::string detail;
+  bool ok = !f.failed;
+  if (f.failed) {
+    detail = "stream diverged across spawn retries: " + f.message;
+  } else if (q.stats().spawn_retries == 0) {
+    ok = false;
+    detail = "shard_spawn fired but no spawn retry was recorded";
+  } else if (q.stats().respawns == 0) {
+    ok = false;
+    detail = "shard was never re-admitted after the spawn faults cleared";
+  }
+  return finish(FailSite::kShardSpawn, ok, std::move(detail));
+}
+
+/// heartbeat_drop: the shard keeps answering requests but its beats vanish;
+/// detection must come through the watchdog channel (consecutive stall
+/// verdicts -> failover), while the stream stays EXACT across the forced
+/// takeovers and re-admissions.
+inline FaultSiteResult dist_heartbeat_drill(const FaultMatrixConfig& cfg) {
+  disarm_all();
+  const testing::OpTrace trace = drill_trace(cfg, FailSite::kHeartbeatDrop);
+  const TempDir dir("ph-fm-beat");
+  dist_fake_now().store(0, std::memory_order_relaxed);
+  dist::ShardSupervisor<U64> q(dist_drill_config(dir.path));
+  PhaseWatchdog::Config wcfg;
+  wcfg.stall_timeout_ns = 50'000'000;   // ticks are 100 ms: one quiet tick stalls
+  wcfg.dump_after_polls = 1u << 30;     // the drill wants verdicts, not dumps
+  wcfg.clock = &dist_fake_clock;
+  PhaseWatchdog wd(wcfg);
+  q.attach_watchdog(wd, /*polls_to_failover=*/2);
+  arm(FailSite::kHeartbeatDrop,
+      FireSpec{/*nth=*/1, /*period=*/1, /*max_fires=*/40, /*stall_us=*/0});
+  DistClockedAdapter a{q, &wd, /*tick_ns=*/100'000'000};
+  testing::DiffOptions opt;
+  opt.invariant_stride = 64;
+  const testing::DiffFailure f = testing::run_differential(a, trace, opt);
+  std::string detail;
+  bool ok = !f.failed;
+  if (f.failed) {
+    detail = "stream diverged across heartbeat-loss failovers: " + f.message;
+  } else if (q.stats().stall_verdicts == 0) {
+    ok = false;
+    detail = "dropped heartbeats never escalated to a watchdog stall verdict";
+  }
+  return finish(FailSite::kHeartbeatDrop, ok, std::move(detail));
+}
+
 }  // namespace fm_detail
 
 /// Runs every site's drill; see the file comment for the per-site contracts.
 inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
                                           std::ostream* log = nullptr) {
   FaultMatrixReport rep;
-  static_assert(kNumFailSites == 14, "new FailSite needs a fault-matrix drill");
 
   rep.rows.push_back(fm_detail::rollback_drill<std::less<fm_detail::U64>>(
       cfg, FailSite::kRootAlloc,
@@ -602,6 +774,14 @@ inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
   rep.rows.push_back(fm_detail::recover_replay_drill(cfg));
   rep.rows.push_back(fm_detail::ingest_flush_drill(cfg));
   rep.rows.push_back(fm_detail::shard_putback_drill(cfg));
+  rep.rows.push_back(fm_detail::dist_transport_drill(
+      cfg, FailSite::kTransportSend,
+      FireSpec{/*nth=*/6, /*period=*/23, /*max_fires=*/6, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::dist_transport_drill(
+      cfg, FailSite::kTransportRecv,
+      FireSpec{/*nth=*/9, /*period=*/31, /*max_fires=*/6, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::dist_spawn_drill(cfg));
+  rep.rows.push_back(fm_detail::dist_heartbeat_drill(cfg));
 
   if (log) {
     for (const FaultSiteResult& r : rep.rows) {

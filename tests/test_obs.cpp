@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <regex>
@@ -255,6 +256,25 @@ TEST(FlightRecorder, DumpToFileLandsInConfiguredDir) {
   EXPECT_NE(path.find("obs-unit"), std::string::npos);
   const auto doc = minijson::parse(slurp(path));
   EXPECT_EQ(doc.at("reason").str(), "obs-unit");
+}
+
+TEST(FlightRecorder, RapidDumpsNeverClobberEachOther) {
+  // Two dumps with the same reason inside one millisecond used to collide
+  // on the <reason>-<ms> filename, the second silently overwriting the
+  // first — exactly the dumps a cascading failure produces. The per-process
+  // sequence (and pid, for forked children) must keep every path unique.
+  auto& fr = obs::FlightRecorder::instance();
+  fr.record(obs::FlightKind::kNote, 1, 1);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 8; ++i) paths.push_back(fr.dump_to_file("obs-burst"));
+  for (const std::string& p : paths) {
+    ASSERT_FALSE(p.empty());
+    EXPECT_TRUE(std::filesystem::exists(p)) << p;
+  }
+  std::vector<std::string> uniq = paths;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_EQ(uniq.size(), paths.size()) << "dump filenames collided";
 }
 
 // --------------------------------------------------- causal trace export

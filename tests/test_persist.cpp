@@ -427,6 +427,71 @@ TEST(Recovery, WalSequenceHoleIsLoudCorruption) {
   EXPECT_THROW(make_dh(dir, 8), ps::CorruptStateError);
 }
 
+TEST(Recovery, ZeroLengthSegmentIsBenign) {
+  // Crash at segment rotation: the new segment file exists but never
+  // received a record. That is a legal tail state, not corruption.
+  TempDir dir;
+  testing::SortedOracle oracle;
+  ps::DurableOptions d = opts(dir);
+  d.checkpoint_on_open = false;
+  {
+    PipelinedDH q(PipelinedParallelHeap<U64>(8), d);
+    run_ops(q, oracle, 31, 24, 8);
+  }
+  { std::ofstream f(dir.path + "/" + ps::wal_filename(24)); }
+  ASSERT_EQ(ps::list_wal_segments(dir.path).size(), 2u);
+
+  PipelinedDH q(PipelinedParallelHeap<U64>(8), d);
+  EXPECT_EQ(q.op_seq(), 24u);
+  EXPECT_EQ(q.recovery_info().replayed, 24u);
+  drain_exact(q, oracle, 8);
+}
+
+TEST(Recovery, TornTailOnlySegmentIsBenign) {
+  // The only segment holds nothing but a torn first record: every logged
+  // byte is unacknowledged tail. Recovery starts empty — loudly NOT an
+  // error — and the directory stays usable.
+  TempDir dir;
+  ps::DurableOptions d = opts(dir);
+  d.checkpoint_on_open = false;
+  {
+    PipelinedDH q(PipelinedParallelHeap<U64>(8), d);
+    testing::SortedOracle scratch;
+    run_ops(q, scratch, 32, 1, 8);
+  }
+  const auto segs = ps::list_wal_segments(dir.path);
+  ASSERT_EQ(segs.size(), 1u);
+  std::error_code ec;
+  fs::resize_file(segs[0].second, 5, ec);  // mid-header: no whole record left
+  ASSERT_FALSE(ec);
+
+  PipelinedDH q(PipelinedParallelHeap<U64>(8), d);
+  EXPECT_EQ(q.op_seq(), 0u);
+  EXPECT_TRUE(q.recovery_info().wal_torn);
+  testing::SortedOracle oracle;
+  run_ops(q, oracle, 33, 12, 8);
+  drain_exact(q, oracle, 8);
+}
+
+TEST(Recovery, MissingCoveringWalSegmentsIsLoud) {
+  // A checkpoint with NO segment at-or-below its sequence means segments
+  // were deleted out from under the store: acknowledged ops after the
+  // checkpoint may be gone, and recovery must refuse rather than silently
+  // resurrect the stale image.
+  TempDir dir;
+  {
+    auto q = make_dh(dir, 8, opts(dir, ps::FsyncPolicy::kNever, /*interval=*/5));
+    testing::SortedOracle scratch;
+    run_ops(q, scratch, 34, 32, 8);
+  }
+  ASSERT_FALSE(ps::list_checkpoints(dir.path).empty());
+  for (const auto& [seq, path] : ps::list_wal_segments(dir.path)) {
+    fs::remove(path);
+  }
+  EXPECT_THROW(make_dh(dir, 8, opts(dir, ps::FsyncPolicy::kNever, 5)),
+               ps::CorruptStateError);
+}
+
 TEST(Recovery, CrashDuringRecoveryIsIdempotent) {
   if (!rb::kFailpoints) GTEST_SKIP() << "built with PH_FAILPOINTS=OFF";
   DisarmGuard guard;

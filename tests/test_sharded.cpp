@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -264,6 +265,70 @@ TEST(ShardedHeap, DifferentialHarnessVerifiesSharded) {
 }
 
 // ------------------------------------------------------------------- DES
+
+TEST(ShardedHeap, ReleaseAdoptHandoffConservesAndStaysExact) {
+  // The ownership seam an external supervisor drives: release a shard (its
+  // items come back to the caller, its key range redistributes), keep
+  // cycling on the survivors, then adopt it back with its items plus what
+  // the "other domain" did to them — the stream must stay exact throughout.
+  ShardedHeap<U64>::Config cfg;
+  cfg.shards = 3;
+  cfg.rebalance_interval = 8;
+  ShardedHeap<U64> q(8, cfg);
+  std::multiset<U64> expected;
+  std::vector<U64> items;
+  for (U64 v = 0; v < 96; ++v) items.push_back((v * 53) % 257);
+  q.build(items);
+  expected.insert(items.begin(), items.end());
+
+  const std::vector<U64> handed = q.release_shard(1);
+  EXPECT_FALSE(q.shard_active(1));
+  EXPECT_EQ(q.active_shards(), 2u);
+  EXPECT_TRUE(std::is_sorted(handed.begin(), handed.end()));
+  EXPECT_EQ(q.size() + handed.size(), 96u);
+
+  // Survivors keep cycling, exact against an oracle seeded with their share
+  // (sorted_contents copies — the heap keeps its items).
+  SortedOracle survivors;
+  {
+    std::vector<U64> sink;
+    const std::vector<U64> rest = q.sorted_contents();
+    survivors.cycle(std::span<const U64>(rest), 0, sink);
+  }
+  std::vector<U64> got, want;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const U64 fresh[] = {static_cast<U64>(i * 31 % 100),
+                         static_cast<U64>(i * 71 % 100)};
+    got.clear();
+    want.clear();
+    q.cycle(std::span<const U64>(fresh, 2), 4, got);
+    survivors.cycle(std::span<const U64>(fresh, 2), 4, want);
+    ASSERT_EQ(got, want) << "survivor cycle " << i;
+    for (const U64 v : fresh) expected.insert(v);
+    for (const U64 v : got) {
+      const auto it = expected.find(v);
+      ASSERT_NE(it, expected.end());
+      expected.erase(it);
+    }
+  }
+
+  q.adopt_shard(1, std::span<const U64>(handed));
+  EXPECT_TRUE(q.shard_active(1));
+  EXPECT_EQ(q.active_shards(), 3u);
+  std::string why;
+  EXPECT_TRUE(q.check_invariants(&why)) << why;
+
+  // Conservation end to end: the full drain equals the tracked multiset.
+  std::vector<U64> drained;
+  for (int guard = 0; guard < 1 << 10; ++guard) {
+    got.clear();
+    if (q.cycle({}, 8, got) == 0) break;
+    drained.insert(drained.end(), got.begin(), got.end());
+  }
+  EXPECT_TRUE(q.empty());
+  const std::vector<U64> want_all(expected.begin(), expected.end());
+  EXPECT_EQ(drained, want_all);
+}
 
 TEST(ShardedSim, MatchesSerialReferenceAcrossShardCounts) {
   const sim::Topology topo = sim::make_torus(8, 8);

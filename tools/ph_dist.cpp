@@ -1,0 +1,245 @@
+// ph_dist — a live multi-process distributed run you can poke at.
+//
+// Spawns a ShardSupervisor with K real shard child processes, prints their
+// pids, and cycles a seeded workload continuously while mirroring every
+// delete-min batch into a fault-free oracle. From another terminal,
+// `kill -9` one of the printed pids and watch the supervisor take the shard
+// over in-parent, replay its WAL, respawn a fresh child, and re-admit it —
+// the tool keeps asserting bit-exactness the whole time and prints every
+// death/takeover/respawn transition as it happens.
+//
+//   ph_dist --shards 4                          live run until Ctrl-C
+//   ph_dist --cycles 5000                       bounded run (scripts/CI)
+//   ph_dist --metrics-file /tmp/ph.json         then: ph_top --file /tmp/ph.json
+//   ph_dist --metrics-port 9137                 then: ph_top --port 9137
+//   ph_dist --dir /tmp/ph-dist                  keep WAL/checkpoints around
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/supervisor.hpp"
+#include "obs/publisher.hpp"
+#include "testing/oracle.hpp"
+
+namespace {
+
+using U64 = std::uint64_t;
+using Sup = ph::dist::ShardSupervisor<U64>;
+
+struct Options {
+  std::size_t shards = 2;
+  std::size_t r = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t cycles = 0;  ///< 0 = run until SIGINT
+  unsigned sleep_ms = 10;    ///< pacing between cycles (0 = flat out)
+  std::string dir;           ///< empty = fresh temp dir, removed on exit
+  std::string metrics_file;
+  int metrics_port = -1;
+  std::uint64_t key_bound = 1u << 20;
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_sigint(int) { g_stop = 1; }
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const char* state_name(Sup::BackendState st) {
+  switch (st) {
+    case Sup::BackendState::kProcess:
+      return "process";
+    case Sup::BackendState::kLoopback:
+      return "loopback";
+    case Sup::BackendState::kTakenOver:
+      return "taken-over";
+    case Sup::BackendState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+void print_shards(const Sup& sup) {
+  for (std::size_t s = 0; s < sup.shards(); ++s) {
+    const ::pid_t pid = sup.shard_pid(s);
+    std::printf("ph_dist:   shard %zu  state=%-10s pid=%d  op_seq=%llu\n", s,
+                state_name(sup.backend_state(s)), static_cast<int>(pid),
+                static_cast<unsigned long long>(sup.shard_op_seq(s)));
+  }
+  std::fflush(stdout);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--shards K] [--r N] [--seed N] [--cycles N]\n"
+               "          [--sleep-ms N] [--dir PATH] [--metrics-file PATH]\n"
+               "          [--metrics-port N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string inline_val;
+    bool has_inline = false;
+    if (const std::size_t eq = a.find('='); eq != std::string::npos) {
+      inline_val = a.substr(eq + 1);
+      a.resize(eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_val.c_str();
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--shards") {
+      opt.shards = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--r") {
+      opt.r = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--cycles") {
+      opt.cycles = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--sleep-ms") {
+      opt.sleep_ms = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (a == "--dir") {
+      opt.dir = next();
+    } else if (a == "--metrics-file") {
+      opt.metrics_file = next();
+    } else if (a == "--metrics-port") {
+      opt.metrics_port = std::atoi(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.shards == 0) usage(argv[0]);
+
+  const bool temp = opt.dir.empty();
+  if (temp) opt.dir = ph::persist::make_temp_dir("ph-dist");
+
+  std::signal(SIGINT, &on_sigint);
+  std::signal(SIGTERM, &on_sigint);
+
+  int rc = 0;
+  {
+    Sup::Config cfg;
+    cfg.shards = opt.shards;
+    cfg.node_capacity = opt.r;
+    cfg.dir = opt.dir;
+    cfg.fsync = ph::persist::FsyncPolicy::kNever;
+    cfg.checkpoint_interval = 32;
+    cfg.use_processes = true;
+    Sup sup(cfg);
+    sup.register_gauges("dist");
+
+    ph::obs::SnapshotPublisher::Config pcfg;
+    pcfg.file_path = opt.metrics_file;
+    pcfg.port = opt.metrics_port;
+    pcfg.period_ms = 500;
+    ph::obs::SnapshotPublisher pub(pcfg);
+    if (!opt.metrics_file.empty() || opt.metrics_port >= 0) {
+      if (pub.start() && pub.port() >= 0) {
+        std::printf("ph_dist: metrics on http://127.0.0.1:%d/metrics.json\n",
+                    pub.port());
+      }
+      if (!opt.metrics_file.empty()) {
+        std::printf("ph_dist: metrics file %s\n", opt.metrics_file.c_str());
+      }
+    }
+
+    std::printf("ph_dist: %zu shard child processes (dir %s)\n", opt.shards,
+                opt.dir.c_str());
+    std::printf("ph_dist: kill -9 a pid below and watch the failover\n");
+    print_shards(sup);
+
+    ph::testing::SortedOracle oracle;
+    std::vector<U64> got, want, fresh;
+    Sup::Stats last = sup.stats();
+    std::uint64_t i = 0;
+    bool exact = true;
+    while (!g_stop && (opt.cycles == 0 || i < opt.cycles)) {
+      ++i;
+      std::uint64_t s = opt.seed ^ (0xd1342543de82ef95ull * i);
+      fresh.clear();
+      const std::size_t nfresh = splitmix(s) % (opt.r + 1);
+      for (std::size_t j = 0; j < nfresh; ++j) {
+        fresh.push_back(splitmix(s) % opt.key_bound);
+      }
+      const std::size_t k = splitmix(s) % (opt.r + 1);
+      got.clear();
+      want.clear();
+      sup.cycle(fresh, k, got);
+      oracle.cycle(fresh, k, want);
+      if (got != want) {
+        std::printf("ph_dist: cycle %llu: DIVERGED from oracle — aborting\n",
+                    static_cast<unsigned long long>(i));
+        exact = false;
+        rc = 1;
+        break;
+      }
+      sup.poll();
+
+      const Sup::Stats st = sup.stats();
+      if (st.deaths != last.deaths || st.takeovers != last.takeovers ||
+          st.respawns != last.respawns ||
+          st.stall_verdicts != last.stall_verdicts) {
+        std::printf(
+            "ph_dist: cycle %llu: deaths=%llu takeovers=%llu respawns=%llu "
+            "(stream still exact)\n",
+            static_cast<unsigned long long>(i),
+            static_cast<unsigned long long>(st.deaths),
+            static_cast<unsigned long long>(st.takeovers),
+            static_cast<unsigned long long>(st.respawns));
+        print_shards(sup);
+        last = st;
+      } else if (i % 500 == 0) {
+        std::printf("ph_dist: cycle %llu  size=%zu  degraded=%d\n",
+                    static_cast<unsigned long long>(i), sup.size(),
+                    sup.degraded() ? 1 : 0);
+        std::fflush(stdout);
+      }
+      if (opt.sleep_ms != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.sleep_ms));
+      }
+    }
+
+    if (exact) {
+      std::string why;
+      if (!sup.check_invariants(&why)) {
+        std::printf("ph_dist: invariant violation at shutdown: %s\n",
+                    why.c_str());
+        rc = 1;
+      } else {
+        const Sup::Stats st = sup.stats();
+        std::printf(
+            "ph_dist: done after %llu cycles — exact throughout "
+            "(deaths=%llu takeovers=%llu respawns=%llu)\n",
+            static_cast<unsigned long long>(i),
+            static_cast<unsigned long long>(st.deaths),
+            static_cast<unsigned long long>(st.takeovers),
+            static_cast<unsigned long long>(st.respawns));
+      }
+    }
+  }
+
+  if (temp) {
+    std::error_code ec;
+    std::filesystem::remove_all(opt.dir, ec);
+  }
+  return rc;
+}

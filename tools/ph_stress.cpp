@@ -142,7 +142,11 @@ int main(int argc, char** argv) {
   std::uint64_t sched_fuzz_seed = 0;
   std::uint64_t sched_fuzz_permille = 200;
 
+  // Each argument is split once up front so both `--flag value` and
+  // `--flag=value` spell every option.
+  const char* inline_val = nullptr;
   auto value = [&](int& i, const char* flag) -> const char* {
+    if (inline_val != nullptr) return inline_val;
     if (i + 1 >= argc) {
       std::fprintf(stderr, "ph_stress: %s requires an argument\n", flag);
       std::exit(2);
@@ -150,8 +154,16 @@ int main(int argc, char** argv) {
     return argv[++i];
   };
 
+  std::string flag_buf;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
+    inline_val = nullptr;
+    if (const char* eq = std::strchr(a, '=');
+        eq != nullptr && a[0] == '-' && a[1] == '-') {
+      flag_buf.assign(a, static_cast<std::size_t>(eq - a));
+      a = flag_buf.c_str();
+      inline_val = eq + 1;
+    }
     if (std::strcmp(a, "--seed") == 0) {
       cfg.seed = parse_u64(value(i, a), "seed");
     } else if (std::strcmp(a, "--rounds") == 0) {
