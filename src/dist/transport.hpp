@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "dist/frame.hpp"
 #include "persist/format.hpp"
 #include "robustness/failpoint.hpp"
 
@@ -81,21 +82,7 @@ class SocketTransport final : public Transport {
 
   bool send_frame(std::span<const std::uint8_t> payload) override {
     robustness::fire_fault(robustness::FailSite::kTransportSend);
-    if (fd_ < 0) return false;
-    wire_.clear();
-    persist::append_frame(wire_, payload);
-    const std::uint8_t* p = wire_.data();
-    std::size_t n = wire_.size();
-    while (n > 0) {
-      const ::ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        return false;  // EPIPE/ECONNRESET: peer died — supervisor's problem
-      }
-      p += w;
-      n -= static_cast<std::size_t>(w);
-    }
-    return true;
+    return send_frame_fd(fd_, payload, wire_);
   }
 
   RecvStatus recv_frame(std::vector<std::uint8_t>& payload, int timeout_ms) override {
@@ -106,10 +93,10 @@ class SocketTransport final : public Transport {
                               : std::chrono::steady_clock::now() +
                                     std::chrono::milliseconds(timeout_ms);
     while (true) {
-      switch (try_parse(payload)) {
-        case Parse::kFrame: return RecvStatus::kOk;
-        case Parse::kBad: return RecvStatus::kClosed;
-        case Parse::kNeedMore: break;
+      switch (rx_.next(payload)) {
+        case FrameStatus::kFrame: return RecvStatus::kOk;
+        case FrameStatus::kBad: return RecvStatus::kClosed;
+        case FrameStatus::kNeedMore: break;
       }
       int wait_ms = 0;
       if (timeout_ms != 0) {
@@ -140,10 +127,10 @@ class SocketTransport final : public Transport {
       }
       if (r == 0) {
         // EOF: anything short of a full frame in rx_ is a torn tail.
-        return try_parse(payload) == Parse::kFrame ? RecvStatus::kOk
-                                                   : RecvStatus::kClosed;
+        return rx_.next(payload) == FrameStatus::kFrame ? RecvStatus::kOk
+                                                        : RecvStatus::kClosed;
       }
-      rx_.insert(rx_.end(), chunk, chunk + r);
+      rx_.feed(std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(r)));
     }
   }
 
@@ -157,29 +144,8 @@ class SocketTransport final : public Transport {
   int fd() const noexcept { return fd_; }
 
  private:
-  enum class Parse : std::uint8_t { kFrame, kNeedMore, kBad };
-
-  /// Tries to cut one complete frame off the front of rx_. A CRC mismatch is
-  /// kBad: a stream transport cannot resynchronize past corruption.
-  Parse try_parse(std::vector<std::uint8_t>& payload) {
-    if (rx_.size() < 8) return Parse::kNeedMore;
-    persist::PayloadReader hdr(std::span<const std::uint8_t>(rx_.data(), 8));
-    std::uint32_t len = 0;
-    std::uint32_t crc = 0;
-    hdr.get_u32(len);
-    hdr.get_u32(crc);
-    if (len > persist::kMaxFramePayload) return Parse::kBad;
-    if (rx_.size() < 8 + static_cast<std::size_t>(len)) return Parse::kNeedMore;
-    const std::span<const std::uint8_t> body(rx_.data() + 8, len);
-    if (persist::crc32(body) != crc) return Parse::kBad;
-    payload.assign(body.begin(), body.end());
-    rx_.erase(rx_.begin(),
-              rx_.begin() + static_cast<std::ptrdiff_t>(8 + std::size_t{len}));
-    return Parse::kFrame;
-  }
-
   int fd_ = -1;
-  std::vector<std::uint8_t> rx_;    ///< unparsed stream bytes
+  FrameParser rx_;                  ///< incremental stream decoder (frame.hpp)
   std::vector<std::uint8_t> wire_;  ///< send scratch
 };
 

@@ -118,6 +118,7 @@ class IngestTier {
   }
 
   PQ& inner() noexcept { return inner_; }
+  const PQ& inner() const noexcept { return inner_; }
   const IngestConfig& config() const noexcept { return cfg_; }
   const IngestStats& ingest_stats() const noexcept { return stats_; }
 

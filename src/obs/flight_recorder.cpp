@@ -74,6 +74,8 @@ const char* flight_kind_name(FlightKind k) noexcept {
     case FlightKind::kShardProcDeath: return "shard_proc_death";
     case FlightKind::kShardTakeover: return "shard_takeover";
     case FlightKind::kShardReadmit: return "shard_readmit";
+    case FlightKind::kSvcOverload: return "svc_overload";
+    case FlightKind::kSvcDrain: return "svc_drain";
     case FlightKind::kCount: break;
   }
   return "unknown";

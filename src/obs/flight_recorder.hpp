@@ -62,6 +62,8 @@ enum class FlightKind : std::uint8_t {
   kShardProcDeath,    ///< shard backend died/was failed; a=shard, b=pid
   kShardTakeover,     ///< supervisor took a shard over in-parent; a=shard, b=replayed ops
   kShardReadmit,      ///< recovered shard re-admitted; a=shard, b=resent ops
+  kSvcOverload,       ///< service began shedding; a=tenant, b=backlog depth
+  kSvcDrain,          ///< service drain started; a=in-flight, b=backlog depth
   kCount
 };
 inline constexpr std::size_t kNumFlightKinds =

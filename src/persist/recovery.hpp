@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -96,12 +97,25 @@ class DurableHeap {
   using ServiceCtx = typename PQ::ServiceCtx;
   using T = value_type;
 
+  /// Observes every logged state transition — live ops as they apply AND
+  /// replayed records during recovery, in the identical (type, k, items,
+  /// outputs) shape. Layers that derive state from the op stream (the svc
+  /// tenant ledger) route BOTH paths through one observer, so what recovery
+  /// rebuilds is what the live path built, by construction. Replay exactness
+  /// (multiset semantics, DESIGN.md §10) extends to the outputs: a replayed
+  /// record regenerates the same popped multiset the live run produced.
+  /// Must not throw; must not call back into the heap.
+  using OpObserver =
+      std::function<void(RecType, std::uint64_t, std::span<const T>, std::span<const T>)>;
+
   /// Wraps `pq` (which supplies configuration: node capacity, comparator,
   /// shard layout) and recovers state from `opt.dir`. Any content `pq`
   /// arrived with is REPLACED by the recovered state (empty when the
   /// directory holds none) — durable content lives in the directory, not in
-  /// the constructor argument; seed fresh content with build().
-  DurableHeap(PQ pq, DurableOptions opt) : pq_(std::move(pq)), opt_(std::move(opt)) {
+  /// the constructor argument; seed fresh content with build(). An observer
+  /// passed here sees the recovery replay too.
+  DurableHeap(PQ pq, DurableOptions opt, OpObserver observer = nullptr)
+      : pq_(std::move(pq)), opt_(std::move(opt)), observer_(std::move(observer)) {
     PH_ASSERT_MSG(!opt_.dir.empty(), "DurableHeap: empty durable directory");
     if (opt_.keep_checkpoints == 0) opt_.keep_checkpoints = 1;
     recover();
@@ -117,13 +131,17 @@ class DurableHeap {
   void build(std::span<const T> items) {
     log_op(RecType::kBuild, 0, items);
     apply_guard([&] { pq_.build(items); });
+    notify(RecType::kBuild, 0, items, {});
     finish_op();
   }
 
   std::size_t cycle(std::span<const T> fresh, std::size_t k, std::vector<T>& out) {
     log_op(RecType::kCycle, k, fresh);
+    const std::size_t entry = out.size();
     std::size_t n = 0;
     apply_guard([&] { n = pq_.cycle(fresh, k, out); });
+    notify(RecType::kCycle, k, fresh,
+           std::span<const T>(out.data() + entry, out.size() - entry));
     finish_op();
     return n;
   }
@@ -131,13 +149,17 @@ class DurableHeap {
   void insert_batch(std::span<const T> items) {
     log_op(RecType::kInsert, 0, items);
     apply_guard([&] { pq_.insert_batch(items); });
+    notify(RecType::kInsert, 0, items, {});
     finish_op();
   }
 
   std::size_t delete_min_batch(std::size_t k, std::vector<T>& out) {
     log_op(RecType::kDelete, k, {});
+    const std::size_t entry = out.size();
     std::size_t n = 0;
     apply_guard([&] { n = pq_.delete_min_batch(k, out); });
+    notify(RecType::kDelete, k, {},
+           std::span<const T>(out.data() + entry, out.size() - entry));
     finish_op();
     return n;
   }
@@ -152,8 +174,11 @@ class DurableHeap {
   std::size_t root_work_public(std::span<const T> fresh, std::size_t k,
                                std::vector<T>& out) {
     log_op(RecType::kCycle, k, fresh);
+    const std::size_t entry = out.size();
     std::size_t n = 0;
     apply_guard([&] { n = pq_.root_work_public(fresh, k, out); });
+    notify(RecType::kCycle, k, fresh,
+           std::span<const T>(out.data() + entry, out.size() - entry));
     finish_op();
     return n;
   }
@@ -291,6 +316,13 @@ class DurableHeap {
     if (opt_.fsync != FsyncPolicy::kNever) fsync_dir(opt_.dir);
   }
 
+  /// Observer entry for both paths. The live mutators call it with their
+  /// real outputs; apply_record calls it with the replay-regenerated ones.
+  void notify(RecType type, std::uint64_t k, std::span<const T> items,
+              std::span<const T> out) {
+    if (observer_) observer_(type, k, items, out);
+  }
+
   void apply_record(const WalRecord<T>& rec) {
     sink_.clear();
     switch (rec.type) {
@@ -316,6 +348,8 @@ class DurableHeap {
         pq_.build(std::span<const T>(rec.items));
         break;
     }
+    notify(rec.type, rec.k, std::span<const T>(rec.items),
+           std::span<const T>(sink_));
   }
 
   void recover() {
@@ -444,6 +478,7 @@ class DurableHeap {
 
   PQ pq_;
   DurableOptions opt_;
+  OpObserver observer_;
   // Initialized before the ctor body runs recover(); heap-allocated so the
   // wrapper stays movable and gauge callbacks hold a stable pointer.
   std::unique_ptr<Live> live_ = std::make_unique<Live>();

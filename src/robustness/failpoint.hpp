@@ -75,6 +75,9 @@ enum class FailSite : std::uint8_t {
   kTransportRecv,   ///< dist transport loses/corrupts an inbound frame
   kShardSpawn,      ///< supervisor fails to spawn/respawn a shard process
   kHeartbeatDrop,   ///< shard server silently skips its liveness beat
+  kSvcAccept,       ///< scheduler service fails while accepting a request
+  kSvcDispatch,     ///< scheduler service dies mid-dispatch (between the due
+                    ///< pop and the transaction-closing requeue record)
   kCount
 };
 inline constexpr std::size_t kNumFailSites = static_cast<std::size_t>(FailSite::kCount);
@@ -99,6 +102,8 @@ inline const char* fail_site_name(FailSite s) noexcept {
     case FailSite::kTransportRecv: return "transport_recv";
     case FailSite::kShardSpawn: return "shard_spawn";
     case FailSite::kHeartbeatDrop: return "heartbeat_drop";
+    case FailSite::kSvcAccept: return "svc_accept";
+    case FailSite::kSvcDispatch: return "svc_dispatch";
     case FailSite::kCount: break;
   }
   return "unknown";

@@ -61,6 +61,16 @@
 //       skips its beats must be detected through the watchdog channel
 //       (consecutive stall verdicts -> failover), not through traffic —
 //       stream EXACT across the forced takeovers.
+//   svc_accept
+//       clean refusal: a faulted schedule/cancel accept stages NOTHING (the
+//       client gets kTransient and retries); after a full drain the
+//       scheduler's delivered set must be exactly the acked-minus-cancelled
+//       oracle — no job lost, none fabricated, none duplicated.
+//   svc_dispatch
+//       transaction abort: a fault between a poll's POP record and its CLOSE
+//       requeues every popped job (the same path WAL recovery takes for an
+//       unterminated transaction); deliveries stay exactly-once and the
+//       ledger conservation law holds through every abort.
 //
 // (In-process, these crash sites throw InjectedFault — the exception shape
 // every drill can roll back from. The ph_crash tool additionally drives the
@@ -74,8 +84,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -85,6 +97,7 @@
 #include "persist/recovery.hpp"
 #include "robustness/failpoint.hpp"
 #include "robustness/watchdog.hpp"
+#include "svc/core.hpp"
 #include "testing/differential.hpp"
 #include "testing/op_trace.hpp"
 #include "testing/structures.hpp"
@@ -106,6 +119,7 @@ inline constexpr FailSite kDrilledSites[] = {
     FailSite::kIngestFlush,   FailSite::kShardPutback,
     FailSite::kTransportSend, FailSite::kTransportRecv,
     FailSite::kShardSpawn,    FailSite::kHeartbeatDrop,
+    FailSite::kSvcAccept,     FailSite::kSvcDispatch,
 };
 static_assert(sizeof(kDrilledSites) / sizeof(kDrilledSites[0]) == kNumFailSites,
               "every registered FailSite needs a fault-matrix drill: add the "
@@ -740,6 +754,111 @@ inline FaultSiteResult dist_heartbeat_drill(const FaultMatrixConfig& cfg) {
   return finish(FailSite::kHeartbeatDrop, ok, std::move(detail));
 }
 
+// ------------------------------------------------------------ svc drills
+
+/// Deterministic clock for the scheduler-service drills (fn-pointer seam).
+inline std::atomic<std::uint64_t>& svc_fake_now() {
+  static std::atomic<std::uint64_t> now{1};
+  return now;
+}
+inline std::uint64_t svc_fake_clock() {
+  return svc_fake_now().load(std::memory_order_relaxed);
+}
+
+/// svc_accept / svc_dispatch: drive SchedulerCore through a schedule/cancel/
+/// poll workload with the site armed, retrying refusals and aborted polls,
+/// then drain completely and audit the client-side oracle — every acked,
+/// uncancelled job delivered EXACTLY once, nothing fabricated, ledger
+/// conservation intact.
+inline FaultSiteResult svc_site_drill(const FaultMatrixConfig& cfg,
+                                      FailSite site, FireSpec spec) {
+  disarm_all();
+  const TempDir dir("ph-fm-svc");
+  svc_fake_now().store(1'000'000'000ull, std::memory_order_relaxed);
+  svc::SvcConfig sc;
+  sc.dir = dir.path;
+  sc.shards = 2;
+  sc.node_capacity = 8;
+  sc.producers = 2;
+  sc.clock = &svc_fake_clock;
+  svc::SchedulerCore core(sc);
+  arm(site, spec);
+
+  U64 rng = cfg.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<U64>(site) + 1));
+  auto rnd = [&rng]() {
+    U64 z = (rng += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  auto fail = [&](std::string why) { return finish(site, false, std::move(why)); };
+
+  std::map<std::pair<std::uint32_t, U64>, int> acked;      // -> times delivered
+  std::map<std::pair<std::uint32_t, U64>, bool> cancelled; // cancel acked
+  std::vector<svc::Job> due;
+  std::string why;
+  const std::size_t jobs = cfg.cycles;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const std::uint32_t tenant = static_cast<std::uint32_t>(rnd() % 8);
+    const U64 id = i + 1;
+    std::uint64_t deadline = 0;
+    svc::Admit a = svc::Admit::kTransient;
+    for (int tries = 0; tries < 64 && a == svc::Admit::kTransient; ++tries) {
+      a = core.schedule(tenant, rnd() % 50'000'000, id, rnd(), 0, &deadline);
+    }
+    if (a != svc::Admit::kOk) return fail("schedule retries exhausted");
+    acked[{tenant, id}] = 0;
+    if (rnd() % 7 == 0) {  // durable cancel for a random recent job
+      a = svc::Admit::kTransient;
+      for (int tries = 0; tries < 64 && a == svc::Admit::kTransient; ++tries) {
+        a = core.cancel(tenant, deadline, id);
+      }
+      if (a != svc::Admit::kOk) return fail("cancel retries exhausted");
+      cancelled[{tenant, id}] = true;
+    }
+    if (i % 8 == 7) {
+      svc_fake_now().fetch_add(10'000'000, std::memory_order_relaxed);
+      due.clear();
+      core.poll_due(16, due);  // aborts are lawful: everything requeues
+      for (const svc::Job& j : due) {
+        auto it = acked.find({j.tenant, j.id});
+        if (it == acked.end()) return fail("delivered a job never acked");
+        if (++it->second > 1) return fail("job delivered twice");
+      }
+      if (!core.check_invariants(&why)) return fail("invariants: " + why);
+    }
+  }
+  // Drain: march the clock past every deadline and poll until empty. The
+  // armed site has bounded max_fires, so aborts cannot recur forever.
+  svc_fake_now().fetch_add(3'600'000'000'000ull, std::memory_order_relaxed);
+  for (int iter = 0; iter < 4000 && core.backlog() > 0; ++iter) {
+    due.clear();
+    core.poll_due(64, due);
+    for (const svc::Job& j : due) {
+      auto it = acked.find({j.tenant, j.id});
+      if (it == acked.end()) return fail("delivered a job never acked");
+      if (++it->second > 1) return fail("job delivered twice");
+    }
+  }
+  if (core.backlog() != 0) return fail("drain left jobs in the tier");
+  if (!core.check_invariants(&why)) return fail("post-drain invariants: " + why);
+  const svc::SvcStats st = core.stats();
+  if (st.acked != st.delivered + st.cancelled) {
+    return fail("ledger conservation broken after drain");
+  }
+  for (const auto& [key, times] : acked) {
+    const bool was_cancelled = cancelled.count(key) != 0;
+    if (!was_cancelled && times != 1) {
+      return fail("uncancelled job not delivered exactly once");
+    }
+  }
+  if (site == FailSite::kSvcDispatch && core.stats().aborted_polls == 0 &&
+      stats(site).fires > 0) {
+    return fail("svc_dispatch fired but no poll transaction aborted");
+  }
+  return finish(site, true, "");
+}
+
 }  // namespace fm_detail
 
 /// Runs every site's drill; see the file comment for the per-site contracts.
@@ -782,6 +901,12 @@ inline FaultMatrixReport run_fault_matrix(const FaultMatrixConfig& cfg = {},
       FireSpec{/*nth=*/9, /*period=*/31, /*max_fires=*/6, /*stall_us=*/0}));
   rep.rows.push_back(fm_detail::dist_spawn_drill(cfg));
   rep.rows.push_back(fm_detail::dist_heartbeat_drill(cfg));
+  rep.rows.push_back(fm_detail::svc_site_drill(
+      cfg, FailSite::kSvcAccept,
+      FireSpec{/*nth=*/5, /*period=*/11, /*max_fires=*/20, /*stall_us=*/0}));
+  rep.rows.push_back(fm_detail::svc_site_drill(
+      cfg, FailSite::kSvcDispatch,
+      FireSpec{/*nth=*/2, /*period=*/3, /*max_fires=*/12, /*stall_us=*/0}));
 
   if (log) {
     for (const FaultSiteResult& r : rep.rows) {

@@ -1,0 +1,680 @@
+// SchedulerCore: the multi-tenant event-scheduler engine behind phd
+// (DESIGN.md §15). Composes the tree's existing layers —
+//
+//   IngestTier< DurableHeap< ShardedHeap<Job> > >
+//
+// staging-buffered enqueue (PR 8), WAL-first durability (PR 5), key-range
+// sharded batch cycles (PR 3/7) — and adds the service semantics on top:
+// weighted fair admission, deficit-round-robin dispatch, durable cancel,
+// and an exactly-once delivery protocol whose ONLY durable artifact is the
+// WAL the heap already writes.
+//
+// ## The ledger is a function of the WAL
+//
+// Every piece of service state that must survive kill -9 — per-tenant
+// acked/delivered/cancelled counts, cancel tombstones, the set of popped-
+// but-uncommitted jobs — is derived from the op stream via DurableHeap's
+// OpObserver, which fires identically for live ops and for recovery replay.
+// There is no second log and no checkpointed sidecar: checkpoints are
+// DISABLED (checkpoint_on_open=false, interval=0), recovery replays the
+// full WAL from sequence 0, and the observer rebuilds the ledger record by
+// record. What recovery computes is what the live path computed, by
+// construction. (Tradeoff: the WAL grows without bound — see the ROADMAP
+// durability item; delta checkpoints would need a ledger image alongside.)
+//
+// ## Exactly-once delivery over cycle() records
+//
+// A PollDue is a WAL transaction of exactly two records:
+//
+//   1. POP      cycle(staged-admissions, budget) — pops the budget smallest
+//               jobs. Cancel markers annihilate their victims here (marker
+//               sorts first; victim hits the tombstone). Survivors become
+//               `pending_delivery`.
+//   2. CLOSE    cycle(requeues, 0) — the not-delivered survivors (not due,
+//               or past the poller's max / DRR share) re-inserted with
+//               kRequeuedFlag. This record is the COMMIT MARKER: absorbing
+//               a k==0 record resolves every still-pending job as
+//               delivered. The reply frame is sent only after it lands.
+//
+// Replay sees the same two records and resolves them the same way. A crash
+// BETWEEN the records leaves an unterminated transaction: recovery finds
+// pending_delivery non-empty at end of WAL and requeues those jobs — the
+// client never got a reply, so nothing is lost and nothing duplicates. The
+// remaining window (CLOSE durable, reply frame lost in the crash) is
+// at-most-once toward the client and exactly-once in the server ledger; the
+// service-smoke job bounds it to one in-flight poll.
+//
+// ## Fairness
+//
+// Admission: per-tenant token buckets refilled at admit_rate * weight /
+// total_weight, gating only above the overload watermark (an underloaded
+// server admits everyone); above the hard max_backlog wall everything sheds.
+// Dispatch: deficit round robin across tenants over the popped due set, so
+// when polls are the scarce resource, delivered shares track weights.
+//
+// Threading: stage()-bearing schedule()/cancel() are safe from any thread;
+// commit()/poll_due()/stats are driver-only, like every cycle() in the tree.
+#pragma once
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/sharded_heap.hpp"
+#include "ingest/ingest_tier.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "persist/recovery.hpp"
+#include "robustness/failpoint.hpp"
+#include "svc/job.hpp"
+#include "svc/tenant.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/assert.hpp"
+
+namespace ph::svc {
+
+struct SvcConfig {
+  std::string dir;                    ///< durable directory (WAL home)
+  std::size_t shards = 4;
+  std::size_t node_capacity = 128;
+  std::size_t workers = 0;            ///< ShardedHeap worker team (0 = serial)
+  std::size_t producers = 4;          ///< ingest staging slots (tenant-hashed)
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kNever;
+
+  // Backpressure: above `overload_watermark` jobs in the tier, schedules are
+  // token-gated per tenant; at `max_backlog` everything sheds (the OOM wall).
+  std::size_t max_backlog = 1u << 20;
+  std::size_t overload_watermark = 1u << 14;
+  double admit_rate = 250000.0;       ///< jobs/sec shared across tenants
+  double burst = 512.0;               ///< per-tenant bucket capacity, in jobs
+
+  double drr_quantum = 4.0;           ///< jobs credited per DRR round per weight
+  std::size_t poll_over_pull = 2;     ///< pop budget = max * this (headroom for
+                                      ///< markers + non-due + DRR skips)
+  std::size_t max_poll_batch = 8192;  ///< hard cap on one POP record
+  std::size_t max_tombstones = 1u << 20;  ///< unmatched-cancel cap (best effort)
+
+  TenantTable::WeightFn weight;       ///< tenant -> fair weight (unset = 1.0)
+  std::uint64_t (*clock)() = nullptr; ///< ns clock (nullptr = CLOCK_REALTIME);
+                                      ///< wall time so deadlines survive restarts
+};
+
+enum class Admit : std::uint8_t {
+  kOk = 0,        ///< staged; durable + acked after the next commit()
+  kOverloaded,    ///< shed by backpressure — client should back off
+  kTransient,     ///< internal fault absorbed (injected); safe to retry
+};
+
+enum class PollStatus : std::uint8_t {
+  kOk = 0,
+  kAborted,       ///< dispatch fault absorbed: everything requeued, deliver
+                  ///< nothing — the transaction machinery ate the failure
+};
+
+/// Aggregate service counters (sum over tenants + transaction counts).
+struct SvcStats {
+  std::uint64_t acked = 0;
+  std::uint64_t cancel_reqs = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborted_polls = 0;
+  std::uint64_t recovered_inflight = 0;  ///< jobs requeued from an unterminated
+                                         ///< poll transaction at recovery
+};
+
+class SchedulerCore {
+ public:
+  using Inner = persist::DurableHeap<ShardedHeap<Job, JobLess>>;
+  using Tier = ingest::IngestTier<Inner, Job, JobLess>;
+
+  explicit SchedulerCore(SvcConfig cfg)
+      : cfg_(std::move(cfg)),
+        tenants_(cfg_.weight),
+        tier_(make_inner(), make_ingest_cfg(), JobLess{}) {
+    recovering_ = false;
+    if (durable().recovery_info().checkpoint_loaded) {
+      // A checkpoint would have let replay start mid-history, which the
+      // ledger cannot survive. The service never writes one; finding one
+      // means this directory belongs to something else.
+      throw persist::CorruptStateError(
+          "svc: durable dir " + cfg_.dir +
+          " contains a checkpoint — the scheduler ledger needs full-WAL "
+          "replay; refusing a foreign/partial directory");
+    }
+    if (!pending_delivery_.empty()) {
+      // Unterminated poll transaction: the crash hit between POP and CLOSE,
+      // so no client was answered. Requeue the orphans; they stay queued.
+      stats_.recovered_inflight = pending_delivery_.size();
+      obs::flight(obs::FlightKind::kRecoveryDone,
+                  pending_delivery_.size(), /*b=*/1);
+      close_transaction(/*requeue_everything=*/true, /*truncated=*/true);
+    }
+    refresh_live();
+  }
+
+  SchedulerCore(const SchedulerCore&) = delete;
+  SchedulerCore& operator=(const SchedulerCore&) = delete;
+
+  // ------------------------------------------------------------- enqueue side
+
+  /// Stages one job. kOk means "will be durable + acked at the next
+  /// commit()/poll_due()" — callers must not acknowledge before then.
+  /// Thread-safe (stage() is), though admission accounting is exact only
+  /// from the driver thread; phd calls everything from its event loop.
+  Admit schedule(std::uint32_t tenant, std::uint64_t delay_ns, std::uint64_t id,
+                 std::uint64_t payload0, std::uint64_t payload1,
+                 std::uint64_t* deadline_out = nullptr) {
+    try {
+      robustness::fire_fault(robustness::FailSite::kSvcAccept);
+    } catch (const robustness::InjectedFailure& f) {
+      robustness::note_recovery(f.site);
+      return Admit::kTransient;  // nothing staged; clean refusal
+    }
+    const std::uint64_t now = now_ns();
+    const std::size_t backlog = tier_.size();
+    if (backlog >= cfg_.max_backlog) return shed(tenant, backlog);
+    if (backlog >= cfg_.overload_watermark &&
+        !tenants_.try_take_token(tenant, now, cfg_.admit_rate, cfg_.burst)) {
+      return shed(tenant, backlog);
+    }
+    if (overloaded_) {
+      overloaded_ = false;
+      live_.overloaded.store(0, std::memory_order_relaxed);
+    }
+    Job j;
+    j.deadline_ns = now + delay_ns;
+    j.id = id;
+    j.tenant = tenant;
+    j.payload0 = payload0;
+    j.payload1 = payload1;
+    tier_.stage(tenant, j);
+    if (deadline_out != nullptr) *deadline_out = j.deadline_ns;
+    return Admit::kOk;
+  }
+
+  /// Stages a durable cancel marker for job (tenant, deadline, id). Cancels
+  /// bypass the token gate — refusing load-shedding work is self-defeating —
+  /// but still shed at the hard wall (markers occupy heap space too).
+  Admit cancel(std::uint32_t tenant, std::uint64_t deadline_ns, std::uint64_t id) {
+    try {
+      robustness::fire_fault(robustness::FailSite::kSvcAccept);
+    } catch (const robustness::InjectedFailure& f) {
+      robustness::note_recovery(f.site);
+      return Admit::kTransient;
+    }
+    if (tier_.size() >= cfg_.max_backlog) return shed(tenant, tier_.size());
+    Job marker;
+    marker.deadline_ns = deadline_ns;
+    marker.id = id;
+    marker.tenant = tenant;
+    marker.flags = kCancelFlag;
+    tier_.stage(tenant, marker);
+    return Admit::kOk;
+  }
+
+  /// Group commit: admits everything staged as ONE logged record (one WAL
+  /// append, one fsync under kEveryRecord) and returns the admitted count.
+  /// The server acks every outstanding schedule/cancel after this returns
+  /// with the staging fully drained.
+  std::size_t commit() {
+    if (tier_.live().staged_depth.load(std::memory_order_relaxed) == 0 &&
+        tier_.pending_items() == 0) {
+      return 0;  // nothing staged: don't write an empty record per tick
+    }
+    telemetry::SpanScope span(telemetry::Phase::kSvcCommit);
+    PH_ASSERT_MSG(pending_delivery_.empty(), "svc: commit inside a poll txn");
+    admitted_in_record_ = 0;
+    sink_.clear();
+    tier_.cycle({}, 0, sink_);
+    ++stats_.commits;
+    refresh_live();
+    return admitted_in_record_;
+  }
+
+  /// True when no staged op is awaiting its admission record — the server's
+  /// signal that every outstanding ack is now durable.
+  bool staged_fully_admitted() const noexcept {
+    return tier_.live().staged_depth.load(std::memory_order_relaxed) == 0 &&
+           tier_.pending_items() == 0;
+  }
+
+  // ------------------------------------------------------------ dispatch side
+
+  /// One due-dispatch transaction: admit staged work, pop up to the budget,
+  /// annihilate cancels, select due jobs fairly (DRR), requeue the rest,
+  /// commit, and return the delivered jobs. `out` is appended to.
+  PollStatus poll_due(std::size_t max, std::vector<Job>& out,
+                      std::uint64_t* server_now = nullptr) {
+    telemetry::SpanScope span(telemetry::Phase::kSvcDispatch);
+    const std::uint64_t now = now_ns();
+    if (server_now != nullptr) *server_now = now;
+    ++stats_.polls;
+    telemetry::count(telemetry::Counter::kSvcPolls);
+
+    commit();  // staged jobs may be due right now
+    if (max == 0 || tier_.size() == 0 || next_due_lb_ > now) {
+      refresh_live();
+      return PollStatus::kOk;  // provably nothing due: skip the pop churn
+    }
+
+    const std::size_t budget =
+        std::min(cfg_.max_poll_batch,
+                 std::max<std::size_t>(max * std::max<std::size_t>(cfg_.poll_over_pull, 1),
+                                       max));
+    // 1. POP records. One cycle() pops at most node_capacity (the sharded
+    //    heap's k <= r contract), so a large window is a run of POP records;
+    //    each stacks into pending_delivery_ via the observer and the single
+    //    CLOSE record below commits them all (recovery requeues the whole
+    //    stack if we die first). Staged admissions ride the first pop; the
+    //    observer routes markers/tombstones and leaves survivors pending.
+    std::size_t popped = 0;
+    while (popped < budget) {
+      const std::size_t k = std::min(budget - popped, cfg_.node_capacity);
+      sink_.clear();
+      const std::size_t got = tier_.cycle({}, k, sink_);
+      popped += got;
+      if (got < k) break;  // heap ran dry inside the window
+    }
+
+    const bool truncated = popped == budget;
+    try {
+      robustness::fire_fault(robustness::FailSite::kSvcDispatch);
+    } catch (const robustness::InjectedFailure& f) {
+      // Mid-transaction death, absorbed: close by requeueing EVERYTHING.
+      // Deliver nothing; the jobs stay queued and the ledger stays exact —
+      // the same path recovery takes for an unterminated transaction.
+      delivered_buf_.clear();
+      close_transaction(/*requeue_everything=*/true, truncated);
+      ++stats_.aborted_polls;
+      robustness::note_recovery(f.site);
+      refresh_live();
+      return PollStatus::kAborted;
+    }
+
+    // 2. Partition survivors: due jobs compete in DRR for `max` slots.
+    select_drr(max, now);
+
+    // 3. CLOSE record: requeues in, remaining pending resolve as delivered.
+    delivered_buf_.clear();
+    close_transaction(/*requeue_everything=*/false, truncated);
+    out.insert(out.end(), delivered_buf_.begin(), delivered_buf_.end());
+    telemetry::count(telemetry::Counter::kSvcDelivered, delivered_buf_.size());
+    refresh_live();
+    return PollStatus::kOk;
+  }
+
+  /// Graceful drain: make every staged op durable. The heap's remaining
+  /// content IS the durable state — nothing else to flush.
+  void drain() {
+    obs::flight(obs::FlightKind::kSvcDrain,
+                tier_.live().staged_depth.load(std::memory_order_relaxed),
+                tier_.size());
+    commit();
+    live_.draining.store(1, std::memory_order_relaxed);
+  }
+
+  // -------------------------------------------------------------- observers
+
+  std::uint64_t now_ns() const {
+    if (cfg_.clock != nullptr) return cfg_.clock();
+    ::timespec ts{};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+  std::size_t backlog() const noexcept { return tier_.size(); }
+  const SvcConfig& config() const noexcept { return cfg_; }
+  Tier& tier() noexcept { return tier_; }
+  Inner& durable() noexcept { return tier_.inner(); }
+  const Inner& durable() const noexcept { return tier_.inner(); }
+  TenantTable& tenants() noexcept { return tenants_; }
+  std::vector<TenantStatRow> stat_rows() const { return tenants_.stat_rows(); }
+
+  SvcStats stats() const {
+    SvcStats s = stats_;
+    for (const auto& [id, st] : tenants_) {
+      (void)id;
+      s.acked += st.acked;
+      s.cancel_reqs += st.cancel_reqs;
+      s.delivered += st.delivered;
+      s.cancelled += st.cancelled;
+      s.requeued += st.requeued;
+      s.shed += st.shed;
+    }
+    return s;
+  }
+
+  /// Ledger + tier invariants. Exact only at quiescent points with the
+  /// staging drained (the ledger counts durable ops; staged ones are in
+  /// flight). The conservation law: every acked job is delivered, cancelled,
+  /// or still in the heap — and the heap's size agrees item for item.
+  bool check_invariants(std::string* why = nullptr) {
+    if (!tier_.check_invariants(why)) return false;
+    if (!staged_fully_admitted()) return true;  // mid-flight: size not exact
+    std::uint64_t queued_jobs = 0, acked = 0, markers_alive = 0;
+    std::uint64_t unmatched = 0;
+    for (const auto& [key, n] : tombstones_) {
+      (void)key;
+      unmatched += n;
+    }
+    std::uint64_t cancel_reqs = 0, cancelled = 0;
+    for (const auto& [id, st] : tenants_) {
+      (void)id;
+      queued_jobs += st.queued();
+      acked += st.acked;
+      cancel_reqs += st.cancel_reqs;
+      cancelled += st.cancelled;
+    }
+    markers_alive = cancel_reqs - cancelled - unmatched - pruned_tombstones_;
+    const std::uint64_t expect = queued_jobs + markers_alive +
+                                 static_cast<std::uint64_t>(pending_delivery_.size());
+    if (expect != tier_.size()) {
+      if (why != nullptr) {
+        *why = "svc ledger conservation broken: queued " +
+               std::to_string(queued_jobs) + " + live markers " +
+               std::to_string(markers_alive) + " + pending " +
+               std::to_string(pending_delivery_.size()) + " != tier size " +
+               std::to_string(tier_.size());
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Lock-free gauge mirror (same convention as every other component).
+  struct Live {
+    std::atomic<std::uint64_t> tenants{0};
+    std::atomic<std::uint64_t> queue_depth{0};   ///< jobs anywhere in the tier
+    std::atomic<std::uint64_t> pending{0};       ///< popped, uncommitted
+    std::atomic<std::uint64_t> tombstones{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> acked{0};
+    std::atomic<std::uint64_t> overloaded{0};    ///< 1 while shedding
+    std::atomic<std::uint64_t> draining{0};
+  };
+  const Live& live() const noexcept { return live_; }
+
+  /// Publishes the svc_* gauges ph_top renders (tenants, queue depth, shed,
+  /// delivered/acked totals) under the `heap` label.
+  void register_gauges(const std::string& heap = "svc") {
+    gauges_.clear();
+    tier_.register_gauges(heap);
+    durable().register_gauges(heap);
+    Live* lv = &live_;
+    struct Simple { const char* name; const char* help; std::atomic<std::uint64_t> Live::*field; };
+    static constexpr Simple kSimple[] = {
+        {"svc_tenants", "Tenants seen by the scheduler service.", &Live::tenants},
+        {"svc_queue_depth", "Jobs anywhere in the service tier (staged+queued).", &Live::queue_depth},
+        {"svc_pending_delivery", "Jobs popped but not yet committed to a poller.", &Live::pending},
+        {"svc_tombstones", "Unmatched cancel tombstones held.", &Live::tombstones},
+        {"svc_shed_total", "Requests refused with kOverloaded (since boot).", &Live::shed},
+        {"svc_delivered_total", "Jobs delivered to pollers (WAL-derived).", &Live::delivered},
+        {"svc_acked_total", "Schedules made durable and acked (WAL-derived).", &Live::acked},
+        {"svc_overloaded", "1 while admission is shedding.", &Live::overloaded},
+        {"svc_draining", "1 once drain has begun.", &Live::draining},
+    };
+    for (const Simple& g : kSimple) {
+      auto field = g.field;
+      gauges_.add(obs::GaugeDesc{g.name, {{"heap", heap}}, g.help},
+                  [lv, field] { return static_cast<double>(
+                                    (lv->*field).load(std::memory_order_relaxed)); });
+    }
+  }
+
+ private:
+  using TombKey = std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>;
+  static TombKey tomb_key(const Job& j) noexcept {
+    return TombKey{j.deadline_ns, j.id, j.tenant};
+  }
+
+  Inner make_inner() {
+    persist::DurableOptions opt;
+    opt.dir = cfg_.dir;
+    opt.fsync = cfg_.fsync;
+    opt.checkpoint_interval = 0;   // never: the ledger needs full-WAL replay
+    opt.checkpoint_on_open = false;
+    ShardedHeap<Job, JobLess>::Config sc;
+    sc.shards = cfg_.shards == 0 ? 1 : cfg_.shards;
+    sc.workers = cfg_.workers;
+    return Inner(
+        ShardedHeap<Job, JobLess>(cfg_.node_capacity, sc, JobLess{}),
+        std::move(opt),
+        [this](persist::RecType type, std::uint64_t k, std::span<const Job> items,
+               std::span<const Job> out) { absorb_record(type, k, items, out); });
+  }
+
+  ingest::IngestConfig make_ingest_cfg() const {
+    ingest::IngestConfig ic;
+    ic.producers = cfg_.producers == 0 ? 1 : cfg_.producers;
+    ic.staleness = 0;  // strict: an acked op is durable, no lag window
+    return ic;
+  }
+
+  Admit shed(std::uint32_t tenant, std::size_t backlog) {
+    TenantState& st = tenants_.at(tenant);
+    ++st.shed;
+    telemetry::count(telemetry::Counter::kSvcShed);
+    live_.shed.fetch_add(1, std::memory_order_relaxed);
+    if (!overloaded_) {
+      overloaded_ = true;
+      obs::flight(obs::FlightKind::kSvcOverload, tenant, backlog);
+    }
+    live_.overloaded.store(1, std::memory_order_relaxed);
+    return Admit::kOverloaded;
+  }
+
+  /// THE single source of ledger truth: called by DurableHeap for every
+  /// applied op — live and replayed — in identical shape (see file header).
+  void absorb_record(persist::RecType, std::uint64_t k, std::span<const Job> items,
+                     std::span<const Job> out) {
+    // Admissions (and requeue-returns) in the record's fresh items.
+    for (const Job& j : items) {
+      TenantState& st = tenants_.at(j.tenant);
+      if ((j.flags & kRequeuedFlag) != 0 && (j.flags & kCancelFlag) == 0) {
+        take_pending(j);
+        ++st.requeued;
+      } else if ((j.flags & kCancelFlag) != 0) {
+        ++st.cancel_reqs;
+        ++admitted_in_record_;
+        note_admitted(j);
+      } else {
+        ++st.acked;
+        ++admitted_in_record_;
+        note_admitted(j);
+        if (!recovering_) telemetry::count(telemetry::Counter::kSvcAcked);
+      }
+    }
+    // Pops: markers arm tombstones, tombstoned jobs annihilate, survivors
+    // await the transaction's CLOSE.
+    for (const Job& j : out) {
+      if ((j.flags & kCancelFlag) != 0) {
+        ++tombstones_[tomb_key(j)];
+        prune_tombstones();
+      } else if (take_tombstone(j)) {
+        ++tenants_.at(j.tenant).cancelled;
+      } else {
+        pending_delivery_.push_back(j);
+      }
+    }
+    // A k==0 record is a commit point: whatever is still pending was not
+    // requeued, so it was delivered.
+    if (k == 0 && !pending_delivery_.empty()) {
+      for (const Job& j : pending_delivery_) {
+        ++tenants_.at(j.tenant).delivered;
+        if (!recovering_) delivered_buf_.push_back(j);
+      }
+      pending_delivery_.clear();
+    }
+  }
+
+  /// Removes one pending entry matching `j`'s identity (requeue return).
+  void take_pending(const Job& j) {
+    for (auto it = pending_delivery_.begin(); it != pending_delivery_.end(); ++it) {
+      if (same_job(*it, j)) {
+        pending_delivery_.erase(it);
+        return;
+      }
+    }
+    // A requeue with no matching pop means the WAL lied; recovery's hole
+    // check should have caught it. Keep the ledger loud in debug builds.
+    PH_ASSERT_MSG(false, "svc: requeue record without a matching popped job");
+  }
+
+  bool take_tombstone(const Job& j) {
+    auto it = tombstones_.find(tomb_key(j));
+    if (it == tombstones_.end()) return false;
+    if (--it->second == 0) tombstones_.erase(it);
+    return true;
+  }
+
+  /// Best-effort bound on cancels whose victim was already delivered: drop
+  /// the smallest-keyed entries (deterministic — replay prunes identically,
+  /// because pruning depends only on the op stream). `pruned_tombstones_`
+  /// keeps the conservation law exact.
+  void prune_tombstones() {
+    while (tombstones_.size() > cfg_.max_tombstones) {
+      auto it = tombstones_.begin();
+      ++pruned_tombstones_;
+      if (--it->second == 0) tombstones_.erase(it);
+    }
+  }
+
+  void note_admitted(const Job& j) noexcept {
+    next_due_lb_ = std::min(next_due_lb_, j.deadline_ns);
+  }
+
+  /// DRR over the due survivors: each round credits quantum*weight, serving
+  /// one job costs 1. Non-due survivors go straight to requeue_. Deficits
+  /// persist across polls only while a tenant stays backlogged.
+  void select_drr(std::size_t max, std::uint64_t now) {
+    requeue_.clear();
+    due_by_tenant_.clear();
+    for (Job& j : pending_delivery_) {
+      if (j.deadline_ns <= now) {
+        due_by_tenant_[j.tenant].jobs.push_back(j);
+      } else {
+        requeue_.push_back(j);
+      }
+    }
+    std::size_t remaining = 0;
+    for (auto& [t, q] : due_by_tenant_) remaining += q.jobs.size();
+    std::size_t granted = 0;
+    while (granted < max && remaining > 0) {
+      bool progressed = false;
+      // Tenant-id order, rotated past the last served tenant so small `max`
+      // doesn't starve high ids.
+      auto serve = [&](std::uint32_t t, DueQueue& q) {
+        if (q.head >= q.jobs.size() || granted >= max) return;
+        TenantState& st = tenants_.at(t);
+        st.deficit = std::min(st.deficit + cfg_.drr_quantum * st.weight,
+                              2.0 * cfg_.drr_quantum * st.weight + 1.0);
+        while (st.deficit >= 1.0 && q.head < q.jobs.size() && granted < max) {
+          ++q.head;  // delivered: stays out of requeue_ below
+          st.deficit -= 1.0;
+          ++granted;
+          --remaining;
+          progressed = true;
+          drr_cursor_ = t;
+        }
+        if (q.head >= q.jobs.size()) st.deficit = 0.0;  // classic DRR: credit
+                                                        // dies with the queue
+      };
+      auto start = due_by_tenant_.upper_bound(drr_cursor_);
+      for (auto it = start; it != due_by_tenant_.end(); ++it) serve(it->first, it->second);
+      for (auto it = due_by_tenant_.begin(); it != start; ++it) serve(it->first, it->second);
+      if (!progressed) break;  // max smaller than any one credit step — done
+    }
+    for (auto& [t, q] : due_by_tenant_) {
+      for (std::size_t i = q.head; i < q.jobs.size(); ++i) {
+        requeue_.push_back(q.jobs[i]);  // due but past max / fair share
+      }
+    }
+  }
+
+  /// Writes the CLOSE record. With requeue_everything, every pending job
+  /// returns (the abort/recovery path); otherwise requeue_ holds the DRR
+  /// losers and the rest resolve as delivered inside absorb_record.
+  ///
+  /// Due-hint bookkeeping: every job left in the heap after this transaction
+  /// is >= the popped frontier, and requeues are a subset of the pops — so
+  /// min(requeue deadlines) lower-bounds everything undelivered. The hint is
+  /// RAISED to that bound BEFORE the close record applies; admissions riding
+  /// the record lower it again through note_admitted. A raise is only legal
+  /// from this proof; everywhere else the hint only ever goes down.
+  void close_transaction(bool requeue_everything, bool truncated) {
+    if (requeue_everything) {
+      requeue_.assign(pending_delivery_.begin(), pending_delivery_.end());
+    }
+    std::uint64_t lb = std::numeric_limits<std::uint64_t>::max();
+    if (!requeue_.empty()) {
+      for (const Job& j : requeue_) lb = std::min(lb, j.deadline_ns);
+    } else if (truncated) {
+      // Budget-limited pop, everything delivered: the remainder is >= the
+      // popped frontier but its successor is unknown — poll next time.
+      lb = 0;
+    }
+    next_due_lb_ = lb;
+    for (Job& j : requeue_) j.flags |= kRequeuedFlag;
+    if (pending_delivery_.empty() && requeue_.empty()) return;  // all annihilated
+    sink_.clear();
+    tier_.cycle(std::span<const Job>(requeue_), 0, sink_);
+    PH_ASSERT_MSG(pending_delivery_.empty(), "svc: CLOSE left pending jobs");
+    requeue_.clear();
+  }
+
+  void refresh_live() noexcept {
+    live_.tenants.store(tenants_.size(), std::memory_order_relaxed);
+    live_.queue_depth.store(tier_.size(), std::memory_order_relaxed);
+    live_.pending.store(pending_delivery_.size(), std::memory_order_relaxed);
+    live_.tombstones.store(tombstones_.size(), std::memory_order_relaxed);
+    std::uint64_t acked = 0, delivered = 0;
+    for (const auto& [id, st] : tenants_) {
+      (void)id;
+      acked += st.acked;
+      delivered += st.delivered;
+    }
+    live_.acked.store(acked, std::memory_order_relaxed);
+    live_.delivered.store(delivered, std::memory_order_relaxed);
+  }
+
+  SvcConfig cfg_;
+  // Ledger state MUST precede tier_: the observer fires during tier_'s
+  // construction (recovery replay) and touches these members.
+  struct DueQueue {
+    std::vector<Job> jobs;
+    std::size_t head = 0;  ///< delivered prefix
+  };
+
+  TenantTable tenants_;
+  std::map<TombKey, std::uint32_t> tombstones_;
+  std::uint64_t pruned_tombstones_ = 0;
+  std::vector<Job> pending_delivery_;
+  std::vector<Job> delivered_buf_;
+  std::vector<Job> requeue_;
+  std::map<std::uint32_t, DueQueue> due_by_tenant_;
+  std::vector<Job> sink_;
+  SvcStats stats_;
+  bool recovering_ = true;   ///< true while tier_ construction replays
+  bool overloaded_ = false;
+  std::uint32_t drr_cursor_ = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t next_due_lb_ = 0;  ///< 0 = unknown: must pop
+  std::size_t admitted_in_record_ = 0;
+  Live live_;
+  obs::GaugeSet gauges_;
+  Tier tier_;
+};
+
+}  // namespace ph::svc

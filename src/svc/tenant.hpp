@@ -1,0 +1,133 @@
+// Per-tenant accounting: the durable ledger, weighted admission buckets,
+// and deficit-round-robin dispatch state (DESIGN.md §15).
+//
+// One TenantState per tenant id, three lifetimes of state side by side:
+//
+//   ledger      acked / cancel_reqs / delivered / cancelled / requeued are
+//               derived EXCLUSIVELY from the WAL op stream (core.hpp routes
+//               live ops and recovery replay through the same observer), so
+//               they are bit-exact across kill -9. The conservation law the
+//               smoke test audits: acked = delivered + cancelled + queued.
+//   admission   a weighted token bucket, refilled lazily at touch time at
+//               rate admit_rate * weight / total_active_weight. Volatile by
+//               design: rate limits meter the FUTURE; replaying the past
+//               into them would double-charge tenants for work already
+//               admitted. Buckets gate only above the overload watermark
+//               (core.hpp), so an underloaded server never queues a token.
+//   dispatch    the DRR deficit. Each dispatch round credits quantum *
+//               weight and serving one job costs 1, so over any backlogged
+//               interval tenant shares converge to their weights. Also
+//               volatile: a deficit is a sub-job rounding remainder, worth
+//               less than one job across a restart.
+//
+// The table iterates in tenant-id order (std::map) so DRR rounds are
+// deterministic — same backlog, same weights, same deliveries, every run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "svc/proto.hpp"
+
+namespace ph::svc {
+
+struct TenantState {
+  double weight = 1.0;
+
+  // ----- durable ledger (WAL-derived; see core.hpp absorb_record) -----
+  std::uint64_t acked = 0;
+  std::uint64_t cancel_reqs = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t requeued = 0;
+
+  // ----- volatile service state -----
+  std::uint64_t shed = 0;       ///< kOverloaded refusals (since this boot)
+  double tokens = 0.0;          ///< admission bucket level, in jobs
+  std::uint64_t refill_ns = 0;  ///< clock of the last bucket refill
+  double deficit = 0.0;         ///< DRR credit, in jobs
+
+  /// Jobs this tenant has been acked for that are not yet resolved — the
+  /// per-tenant share of the durable backlog.
+  std::uint64_t queued() const noexcept {
+    const std::uint64_t resolved = delivered + cancelled;
+    return acked > resolved ? acked - resolved : 0;
+  }
+};
+
+class TenantTable {
+ public:
+  using WeightFn = std::function<double(std::uint32_t)>;
+
+  /// `weight` maps tenant id -> fair-share weight (>0); unset = 1.0 for all.
+  explicit TenantTable(WeightFn weight = nullptr) : weight_(std::move(weight)) {}
+
+  /// The tenant's state, created (and its weight fixed) on first touch.
+  TenantState& at(std::uint32_t tenant) {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      TenantState st;
+      if (weight_) st.weight = std::max(weight_(tenant), 1e-9);
+      total_weight_ += st.weight;
+      it = tenants_.emplace(tenant, st).first;
+    }
+    return it->second;
+  }
+
+  /// Lazy weighted refill + take: true when a token was available. Refill
+  /// rate is this tenant's weighted slice of `admit_rate_per_sec`; capacity
+  /// `burst` lets an idle tenant absorb its own arrival bursts without
+  /// touching anyone else's slice.
+  bool try_take_token(std::uint32_t tenant, std::uint64_t now_ns,
+                      double admit_rate_per_sec, double burst) {
+    TenantState& st = at(tenant);
+    const double rate =
+        admit_rate_per_sec * st.weight / std::max(total_weight_, 1e-9);
+    if (st.refill_ns == 0) {
+      st.tokens = burst;  // first touch starts full: bursts are the norm
+    } else if (now_ns > st.refill_ns) {
+      st.tokens = std::min(
+          burst, st.tokens + rate * static_cast<double>(now_ns - st.refill_ns) / 1e9);
+    }
+    st.refill_ns = now_ns;
+    if (st.tokens < 1.0) return false;
+    st.tokens -= 1.0;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return tenants_.size(); }
+  double total_weight() const noexcept { return total_weight_; }
+
+  /// Tenant-id-ordered iteration (deterministic DRR rounds).
+  auto begin() noexcept { return tenants_.begin(); }
+  auto end() noexcept { return tenants_.end(); }
+  auto begin() const noexcept { return tenants_.begin(); }
+  auto end() const noexcept { return tenants_.end(); }
+
+  /// Ledger rows for kStatsReply, tenant-id ordered.
+  std::vector<TenantStatRow> stat_rows() const {
+    std::vector<TenantStatRow> rows;
+    rows.reserve(tenants_.size());
+    for (const auto& [id, st] : tenants_) {
+      TenantStatRow r;
+      r.tenant = id;
+      r.acked = st.acked;
+      r.cancel_reqs = st.cancel_reqs;
+      r.delivered = st.delivered;
+      r.cancelled = st.cancelled;
+      r.requeued = st.requeued;
+      r.shed = st.shed;
+      rows.push_back(r);
+    }
+    return rows;
+  }
+
+ private:
+  WeightFn weight_;
+  std::map<std::uint32_t, TenantState> tenants_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace ph::svc

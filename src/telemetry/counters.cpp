@@ -56,6 +56,8 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kWalFsync: return "wal_fsync";
     case Phase::kRecoverReplay: return "recover_replay";
     case Phase::kIngestFlush: return "ingest_flush";
+    case Phase::kSvcCommit: return "svc_commit";
+    case Phase::kSvcDispatch: return "svc_dispatch";
     case Phase::kCount: break;
   }
   return "unknown";
@@ -92,6 +94,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kIngestRuns: return "ingest_runs";
     case Counter::kIngestAdmitted: return "ingest_admitted";
     case Counter::kIngestDeferred: return "ingest_deferred";
+    case Counter::kSvcAcked: return "svc_acked";
+    case Counter::kSvcDelivered: return "svc_delivered";
+    case Counter::kSvcShed: return "svc_shed";
+    case Counter::kSvcPolls: return "svc_polls";
     case Counter::kCount: break;
   }
   return "unknown";

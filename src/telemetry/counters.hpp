@@ -48,6 +48,8 @@ enum class Phase : unsigned {
   kWalFsync,        ///< one fsync(2) issued by the WAL writer (latency source)
   kRecoverReplay,   ///< full recovery pass: load checkpoint + replay WAL tail
   kIngestFlush,     ///< draining staged producer buffers into sorted runs
+  kSvcCommit,       ///< service group-commit: one admission record + fsync
+  kSvcDispatch,     ///< service due-dispatch: pop, DRR select, requeue record
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -85,6 +87,10 @@ enum class Counter : unsigned {
   kIngestRuns,       ///< sorted runs coalesced out of the staging buffers
   kIngestAdmitted,   ///< staged items admitted into the inner heap's cycle
   kIngestDeferred,   ///< run-cycles spent pending under bounded staleness
+  kSvcAcked,         ///< service schedule/cancel ops made durable and acked
+  kSvcDelivered,     ///< due jobs delivered to pollers (commit record landed)
+  kSvcShed,          ///< requests refused with kOverloaded backpressure
+  kSvcPolls,         ///< PollDue transactions executed (incl. empty ones)
   kCount
 };
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);

@@ -131,6 +131,7 @@ int render(const std::string& body, Prev& prev) try {
   struct ShardRow { double size = -1, active = -1; };
   std::map<std::pair<std::string, std::string>, ShardRow> shardrows;
   std::map<std::string, double> scalars;  ///< label-free-ish heap gauges
+  std::map<std::string, double> svc;      ///< svc_* gauges (phd only)
   if (doc.is_object() && doc.object().count("gauges") != 0) {
     for (const auto& g : doc.at("gauges").array()) {
       const std::string name = g.at("name").str();
@@ -144,6 +145,8 @@ int render(const std::string& body, Prev& prev) try {
         auto& row = shardrows[{heap, shard_it->second.str()}];
         if (name == "shard_size") row.size = v;
         if (name == "shard_active") row.active = v;
+      } else if (name.rfind("svc_", 0) == 0) {
+        svc[name] = v;  // scheduler-service plane (absent on older servers)
       } else {
         scalars[name + "{" + heap + "}"] = v;
       }
@@ -156,6 +159,22 @@ int render(const std::string& body, Prev& prev) try {
                   key.second.c_str(), row.size,
                   row.active > 0 ? "yes" : (row.active == 0 ? "QUARANTINED" : "?"));
     }
+  }
+  // Scheduler-service plane: present only against a phd publisher; a server
+  // without svc_* gauges simply renders nothing here.
+  if (!svc.empty()) {
+    auto sv = [&](const char* n) {
+      const auto it = svc.find(n);
+      return it != svc.end() ? it->second : 0.0;
+    };
+    std::printf("  svc   tenants=%-6.0f queue=%-10.0f pending=%-6.0f "
+                "shed=%-8.0f dispatch/s=%9.1f ack/s=%9.1f%s%s\n",
+                sv("svc_tenants"), sv("svc_queue_depth"),
+                sv("svc_pending_delivery"), sv("svc_shed_total"),
+                rate(prev, counters, t_ns, "svc_delivered"),
+                rate(prev, counters, t_ns, "svc_acked"),
+                sv("svc_overloaded") > 0 ? "  [OVERLOADED]" : "",
+                sv("svc_draining") > 0 ? "  [DRAINING]" : "");
   }
   for (const auto& [name, v] : scalars) {
     std::printf("  gauge %-38s %14.0f\n", name.c_str(), v);
