@@ -193,7 +193,11 @@ class SchedulerCore {
       live_.overloaded.store(0, std::memory_order_relaxed);
     }
     Job j;
-    j.deadline_ns = now + delay_ns;
+    // Saturate: delay_ns is client-controlled, and a wrapped sum would turn
+    // a far-future job into one that is immediately due.
+    j.deadline_ns = delay_ns > std::numeric_limits<std::uint64_t>::max() - now
+                        ? std::numeric_limits<std::uint64_t>::max()
+                        : now + delay_ns;
     j.id = id;
     j.tenant = tenant;
     j.payload0 = payload0;

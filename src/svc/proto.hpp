@@ -14,7 +14,7 @@
 //     kCancel     a=deadline_ns, b=job id                -> kAck | kOverloaded
 //     kPollDue    a=max jobs wanted                      -> kDueReply
 //     kStats                                             -> kStatsReply
-//     kShutdown   a=1 drain-and-exit, 0 drain-only       -> kAck (post-drain)
+//     kShutdown   drain-and-exit (a/b/c/d ignored)       -> kAck (post-drain)
 //   replies (phd -> client)
 //     kAck        a=deadline_ns, b=job id, c=server now, d=op seq
 //     kDueReply   a=server now, b=backlog size           items = Job[]
@@ -112,7 +112,15 @@ template <typename Item>
 inline bool get_items(persist::PayloadReader& rd, std::uint32_t item_size,
                       std::uint64_t nitems, std::vector<Item>& v) {
   if (item_size != sizeof(Item)) return false;
-  if (nitems * sizeof(Item) != rd.remaining()) return false;
+  // Divide, never multiply: `nitems * sizeof(Item)` is u64 arithmetic a
+  // crafted frame can wrap (huge nitems whose product aliases the few bytes
+  // actually present), and the resulting resize() would throw through the
+  // server loop. nitems is bounded by remaining()/sizeof(Item), so the
+  // resize below is bounded by the frame size cap.
+  if (rd.remaining() % sizeof(Item) != 0 ||
+      nitems != rd.remaining() / sizeof(Item)) {
+    return false;
+  }
   v.resize(static_cast<std::size_t>(nitems));
   return nitems == 0 || rd.get_raw(v.data(), v.size() * sizeof(Item));
 }

@@ -190,7 +190,7 @@ class Server {
             ack.c = core_.now_ns();
             ack.d = core_.durable().op_seq();
             send_now(*shutdown_conn_, ack);
-            write_conn(*shutdown_conn_);
+            flush_blocking(*shutdown_conn_, mono_ms() + cfg_.drain_timeout_ms);
           }
           break;
         }
@@ -401,13 +401,34 @@ class Server {
     const std::uint64_t seq = core_.durable().op_seq();
     for (auto& c : conns_) {
       if (c->parked.empty()) continue;
-      for (Parked& p : c->parked) {
+      // send_now can close_conn(*c) (outbuf cap), which clears c->parked —
+      // detach the batch first so the loop never walks a mutated vector.
+      auto parked = std::move(c->parked);
+      c->parked.clear();
+      parked_total_ -= parked.size();
+      for (Parked& p : parked) {
+        if (c->fd < 0) break;
         p.ack.c = now;
         p.ack.d = seq;
         send_now(*c, p.ack);
       }
-      parked_total_ -= c->parked.size();
-      c->parked.clear();
+    }
+  }
+
+  /// Bounded blocking flush for the final shutdown ack: the loop is about to
+  /// exit, so a healthy-but-momentarily-full socket (EAGAIN, partial write)
+  /// must not cost the requester its ack. Polls for POLLOUT until the outbuf
+  /// drains or deadline_ms passes.
+  void flush_blocking(Conn& c, std::uint64_t deadline_ms) {
+    while (c.fd >= 0 && !c.outbuf_empty()) {
+      write_conn(c);
+      if (c.fd < 0 || c.outbuf_empty()) return;
+      const std::uint64_t now = mono_ms();
+      if (now >= deadline_ms) return;
+      ::pollfd p{c.fd, POLLOUT, 0};
+      const int pr = ::poll(&p, 1, static_cast<int>(deadline_ms - now));
+      if (pr < 0 && errno != EINTR) return;
+      if (pr > 0 && (p.revents & (POLLERR | POLLNVAL)) != 0) return;
     }
   }
 

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -159,6 +160,27 @@ TEST(SvcProto, StrictDecodeRejectsSkew) {
       got));
 }
 
+TEST(SvcProto, RejectsWrappingItemCountWithoutThrowing) {
+  // A crafted kDueReply whose nitems makes the u64 product `nitems *
+  // sizeof(Job)` wrap to exactly the bytes present: nitems = 2^61 + 1 gives
+  // 40 * nitems == 5 * 2^64 + 40 == 40 (mod 2^64). A multiply-based length
+  // check passes it and the follow-up resize(2^61 + 1) throws through the
+  // server loop — decode must simply return false instead.
+  SvcMsg due;
+  due.type = SvcType::kDueReply;
+  due.jobs.emplace_back();
+  std::vector<std::uint8_t> wire;
+  svc::encode_svc(due, wire);
+  const std::size_t nitems_off = 1 + 4 + 4 * 8 + 4;  // type, tenant, a..d, item_size
+  const std::uint64_t wrap = (1ull << 61) + 1;
+  for (int i = 0; i < 8; ++i) {
+    wire[nitems_off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(wrap >> (8 * i));
+  }
+  SvcMsg got;
+  EXPECT_FALSE(svc::decode_svc(std::span<const std::uint8_t>(wire), got));
+}
+
 // ---------------------------------------------------------------------- core
 
 TEST(SchedulerCore, SchedulesCommitAndDeliverInDeadlineOrder) {
@@ -194,6 +216,25 @@ TEST(SchedulerCore, SchedulesCommitAndDeliverInDeadlineOrder) {
   const svc::SvcStats st = core.stats();
   EXPECT_EQ(st.acked, 3u);
   EXPECT_EQ(st.delivered, 3u);
+  std::string why;
+  EXPECT_TRUE(core.check_invariants(&why)) << why;
+}
+
+TEST(SchedulerCore, SaturatesHugeDelaysInsteadOfWrapping) {
+  Dir dir("ph-svc-sat");
+  SchedulerCore core(small_cfg(dir.path));
+  std::uint64_t deadline = 0;
+  // A client-controlled delay near UINT64_MAX must clamp to the far future,
+  // not wrap past `now` and deliver immediately.
+  EXPECT_EQ(core.schedule(1, std::numeric_limits<std::uint64_t>::max() - 5, 1,
+                          0, 0, &deadline),
+            Admit::kOk);
+  EXPECT_EQ(deadline, std::numeric_limits<std::uint64_t>::max());
+  advance_ms(10);
+  std::vector<Job> due;
+  EXPECT_EQ(core.poll_due(10, due), svc::PollStatus::kOk);
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(core.backlog(), 1u);
   std::string why;
   EXPECT_TRUE(core.check_invariants(&why)) << why;
 }
